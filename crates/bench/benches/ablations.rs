@@ -1,0 +1,39 @@
+//! Ablation kernels: the parameter-sweep building blocks at reduced
+//! budgets (R-window sweep point, filter-width point, protocol
+//! penalty simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use execmig_experiments::ablations::{filter, rwindow};
+use execmig_machine::{MigrationProtocol, PipelineConfig};
+use std::hint::black_box;
+
+fn bench_rwindow_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rwindow");
+    g.sample_size(10);
+    g.bench_function("circular_point/200k_refs", |b| {
+        b.iter(|| black_box(rwindow::circular_sweep(100, &[450], 200_000)));
+    });
+    g.finish();
+}
+
+fn bench_filter_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_filter");
+    g.sample_size(10);
+    g.bench_function("random_point/200k_refs", |b| {
+        b.iter(|| black_box(filter::sweep(16, &[18], 4000, 200_000)));
+    });
+    g.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migration_protocol");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("simulate_migration", |b| {
+        let mut p = MigrationProtocol::new(PipelineConfig::default(), 17);
+        b.iter(|| black_box(p.simulate_migration()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rwindow_point, bench_filter_point, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 3 kernel: the affinity algorithm over the §3.3 abstract
+//! streams, measured end to end (workload generation + Figure 2
+//! datapath) at a reduced reference budget.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use execmig_core::{Splitter2, SplitterConfig};
+use execmig_trace::gen::{CircularWorkload, HalfRandomWorkload};
+use execmig_trace::Workload;
+use std::hint::black_box;
+
+const REFS: u64 = 100_000;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.throughput(Throughput::Elements(REFS));
+    g.sample_size(20);
+
+    g.bench_function("circular_4000_r100/100k_refs", |b| {
+        b.iter_batched_ref(
+            || {
+                (
+                    CircularWorkload::new(4000),
+                    Splitter2::new(SplitterConfig {
+                        r_window: 100,
+                        filter_bits: None,
+                        ..SplitterConfig::default()
+                    }),
+                )
+            },
+            |(w, s)| {
+                for _ in 0..REFS {
+                    let e = w.next_access().addr.raw() / 64;
+                    black_box(s.on_reference(e));
+                }
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    g.bench_function("half_random_300/100k_refs", |b| {
+        b.iter_batched_ref(
+            || {
+                (
+                    HalfRandomWorkload::new(4000, 300, 0x5eed),
+                    Splitter2::new(SplitterConfig {
+                        r_window: 100,
+                        filter_bits: None,
+                        ..SplitterConfig::default()
+                    }),
+                )
+            },
+            |(w, s)| {
+                for _ in 0..REFS {
+                    let e = w.next_access().addr.raw() / 64;
+                    black_box(s.on_reference(e));
+                }
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

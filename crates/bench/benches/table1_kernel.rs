@@ -1,0 +1,35 @@
+//! Table 1 kernel: workload generation plus the 16 KB fully-associative
+//! L1 filter, per benchmark class.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use execmig_bench::workload;
+use execmig_experiments::l1filter::L1Filter;
+use execmig_trace::{LineSize, Workload};
+use std::hint::black_box;
+
+const INSTRS: u64 = 500_000;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.throughput(Throughput::Elements(INSTRS));
+    g.sample_size(10);
+
+    // One representative per generator engine.
+    for name in ["art", "mcf", "gzip", "gcc", "bzip2"] {
+        g.bench_function(format!("l1_filter/{name}/500k_instr"), |b| {
+            b.iter_batched_ref(
+                || (workload(name), L1Filter::paper(LineSize::DEFAULT)),
+                |(w, filter)| {
+                    while w.instructions() < INSTRS {
+                        black_box(filter.filter(w.next_access()));
+                    }
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

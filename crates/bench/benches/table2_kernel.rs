@@ -1,0 +1,47 @@
+//! Table 2 kernel: the full machine (caches + coherence + controller)
+//! per simulated instruction, baseline vs migration mode.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use execmig_bench::workload;
+use execmig_machine::{Machine, MachineConfig};
+use std::hint::black_box;
+
+const INSTRS: u64 = 1_000_000;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.throughput(Throughput::Elements(INSTRS));
+    g.sample_size(10);
+
+    for name in ["art", "gzip"] {
+        g.bench_function(format!("baseline/{name}/1M_instr"), |b| {
+            b.iter_batched_ref(
+                || (Machine::new(MachineConfig::single_core()), workload(name)),
+                |(m, w)| {
+                    m.run(&mut **w, INSTRS);
+                    black_box(m.stats().l2_misses)
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        g.bench_function(format!("migration/{name}/1M_instr"), |b| {
+            b.iter_batched_ref(
+                || {
+                    (
+                        Machine::new(MachineConfig::four_core_migration()),
+                        workload(name),
+                    )
+                },
+                |(m, w)| {
+                    m.run(&mut **w, INSTRS);
+                    black_box(m.stats().migrations)
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

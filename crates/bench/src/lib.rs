@@ -1,0 +1,64 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! The benches live in `benches/`, one file per paper artefact:
+//!
+//! - `affinity` — hot paths of the affinity algorithm (Figure 2
+//!   datapath, 4-way splitter, affinity-cache variants);
+//! - `caches` — cache-substrate throughput (set/skewed lookup+fill,
+//!   fully-associative LRU, Mattson stack);
+//! - `fig3_kernel`, `fig45_kernel`, `table1_kernel`, `table2_kernel` —
+//!   the per-figure/table experiment kernels at reduced budgets;
+//! - `ablations` — the parameter-sweep kernels.
+
+use execmig_trace::{suite, BoxedWorkload};
+
+/// A deterministic pseudo-random line-address stream for
+/// micro-benchmarks (xorshift64*).
+pub struct LineStream {
+    state: u64,
+    mask: u64,
+}
+
+impl LineStream {
+    /// Lines uniformly distributed over `[0, 2^bits)`.
+    pub fn new(seed: u64, bits: u32) -> Self {
+        LineStream {
+            state: seed | 1,
+            mask: (1 << bits) - 1,
+        }
+    }
+
+    /// The next line address.
+    #[inline]
+    pub fn next_line(&mut self) -> u64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        (self.state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 16) & self.mask
+    }
+}
+
+/// Instantiates a suite workload for a bench, panicking on bad names.
+pub fn workload(name: &str) -> BoxedWorkload {
+    suite::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_stream_respects_mask() {
+        let mut s = LineStream::new(3, 10);
+        for _ in 0..1000 {
+            assert!(s.next_line() < 1024);
+        }
+    }
+
+    #[test]
+    fn workload_helper_resolves() {
+        let mut w = workload("art");
+        use execmig_trace::Workload;
+        let _ = w.next_access();
+    }
+}

@@ -1,0 +1,475 @@
+//! Set-associative and skewed-associative caches with per-line
+//! valid/modified state.
+//!
+//! The §4.2 machine uses 16 KB 4-way set-associative L1 caches and
+//! 512 KB 4-way *skewed*-associative L2 caches (Bodin & Seznec); the
+//! affinity cache is also 4-way skewed-associative. Skewed associativity
+//! gives each way its own index hash, so two lines conflicting in one way
+//! rarely conflict in the others.
+//!
+//! The cache exposes *mechanism*, not policy: `lookup`, `fill`,
+//! `invalidate`, modified-bit manipulation. Write-through/write-back and
+//! allocation decisions live in the machine model, which is where the
+//! paper defines them (§2.1).
+
+use execmig_trace::LineAddr;
+
+/// How a line maps to sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Indexing {
+    /// Conventional: one index hash shared by all ways (modulo sets).
+    Modulo,
+    /// Skewed associativity: each way has its own index hash.
+    Skewed,
+}
+
+/// Geometry and indexing of a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Index mapping.
+    pub indexing: Indexing,
+}
+
+impl CacheConfig {
+    /// A conventional set-associative cache.
+    pub fn set_associative(capacity_bytes: u64, ways: u32, line_bytes: u64) -> Self {
+        CacheConfig {
+            capacity_bytes,
+            ways,
+            line_bytes,
+            indexing: Indexing::Modulo,
+        }
+    }
+
+    /// A skewed-associative cache.
+    pub fn skewed(capacity_bytes: u64, ways: u32, line_bytes: u64) -> Self {
+        CacheConfig {
+            capacity_bytes,
+            ways,
+            line_bytes,
+            indexing: Indexing::Skewed,
+        }
+    }
+
+    /// Lines per way.
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / (self.line_bytes * self.ways as u64)
+    }
+
+    /// Total line frames.
+    pub fn frames(&self) -> u64 {
+        self.sets() * self.ways as u64
+    }
+
+    fn validate(&self) {
+        assert!(self.ways > 0, "cache needs at least one way");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            self.capacity_bytes % (self.line_bytes * self.ways as u64) == 0,
+            "capacity must be a whole number of sets"
+        );
+        let sets = self.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two (capacity {}, ways {}, line {})",
+            self.capacity_bytes,
+            self.ways,
+            self.line_bytes
+        );
+    }
+}
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Whether its modified bit was set (write-back needed).
+    pub modified: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    line: u64,
+    valid: bool,
+    modified: bool,
+    /// LRU timestamp (larger = more recent).
+    last: u64,
+}
+
+const EMPTY: Frame = Frame {
+    line: 0,
+    valid: false,
+    modified: false,
+    last: 0,
+};
+
+/// Per-way keys for the skewing hashes.
+const SKEW_KEYS: [u64; 8] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xbf58_476d_1ce4_e5b9,
+    0x94d0_49bb_1331_11eb,
+    0xd6e8_feb8_6659_fd93,
+    0xca5a_8263_95fc_9dd7,
+    0x8cb9_2ba7_2f3d_8dd7,
+    0xa24b_aed4_963e_e407,
+    0x9fb2_1c65_1e98_df25,
+];
+
+/// A set-associative or skewed-associative cache with true-LRU
+/// replacement among the candidate frames.
+///
+/// ```
+/// use execmig_cache::{Cache, CacheConfig};
+/// use execmig_trace::LineAddr;
+///
+/// let mut l2 = Cache::new(CacheConfig::skewed(512 << 10, 4, 64));
+/// let line = LineAddr::new(42);
+/// assert!(!l2.lookup(line));
+/// let evicted = l2.fill(line, false);
+/// assert!(evicted.is_none());
+/// assert!(l2.lookup(line));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: u64,
+    frames: Vec<Frame>,
+    clock: u64,
+}
+
+impl Cache {
+    /// Builds a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`CacheConfig`]): zero
+    /// ways, non-power-of-two line size or set count, more than 8 ways
+    /// with skewed indexing.
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        if config.indexing == Indexing::Skewed {
+            assert!(
+                (config.ways as usize) <= SKEW_KEYS.len(),
+                "skewed indexing supports at most {} ways",
+                SKEW_KEYS.len()
+            );
+        }
+        let sets = config.sets();
+        Cache {
+            config,
+            sets,
+            frames: vec![EMPTY; (sets * config.ways as u64) as usize],
+            clock: 0,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Frame index of (way, set).
+    fn frame_at(&self, way: u32, set: u64) -> usize {
+        (way as u64 * self.sets + set) as usize
+    }
+
+    /// The set index `line` maps to in `way`.
+    fn index(&self, line: u64, way: u32) -> u64 {
+        match self.config.indexing {
+            Indexing::Modulo => line & (self.sets - 1),
+            Indexing::Skewed => {
+                let mut z = line ^ SKEW_KEYS[way as usize];
+                z ^= z >> 29;
+                z = z.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                z ^= z >> 32;
+                z & (self.sets - 1)
+            }
+        }
+    }
+
+    fn find(&self, line: u64) -> Option<usize> {
+        for way in 0..self.config.ways {
+            let f = self.frame_at(way, self.index(line, way));
+            let frame = &self.frames[f];
+            if frame.valid && frame.line == line {
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    /// True if `line` is resident, updating its recency (a *use*).
+    pub fn lookup(&mut self, line: LineAddr) -> bool {
+        match self.find(line.raw()) {
+            Some(f) => {
+                self.clock += 1;
+                self.frames[f].last = self.clock;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if `line` is resident; no recency update.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find(line.raw()).is_some()
+    }
+
+    /// The modified bit of `line`, if resident.
+    pub fn modified(&self, line: LineAddr) -> Option<bool> {
+        self.find(line.raw()).map(|f| self.frames[f].modified)
+    }
+
+    /// Sets or clears the modified bit of `line` if resident; returns
+    /// whether the line was found. Does not update recency (coherence
+    /// traffic is not a local use).
+    pub fn set_modified(&mut self, line: LineAddr, modified: bool) -> bool {
+        match self.find(line.raw()) {
+            Some(f) => {
+                self.frames[f].modified = modified;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `line`, evicting the LRU candidate frame if every
+    /// candidate is valid. Returns the eviction, if any.
+    ///
+    /// If the line is already resident this is a use: recency is
+    /// refreshed, the modified bit is OR-ed in, and no eviction happens.
+    pub fn fill(&mut self, line: LineAddr, modified: bool) -> Option<Evicted> {
+        let raw = line.raw();
+        if let Some(f) = self.find(raw) {
+            self.clock += 1;
+            self.frames[f].last = self.clock;
+            self.frames[f].modified |= modified;
+            return None;
+        }
+        // Choose the victim among the candidate frames: first invalid,
+        // else least recently used.
+        let mut victim = self.frame_at(0, self.index(raw, 0));
+        for way in 0..self.config.ways {
+            let f = self.frame_at(way, self.index(raw, way));
+            if !self.frames[f].valid {
+                victim = f;
+                break;
+            }
+            if self.frames[f].last < self.frames[victim].last {
+                victim = f;
+            }
+        }
+        let evicted = if self.frames[victim].valid {
+            Some(Evicted {
+                line: LineAddr::new(self.frames[victim].line),
+                modified: self.frames[victim].modified,
+            })
+        } else {
+            None
+        };
+        self.clock += 1;
+        self.frames[victim] = Frame {
+            line: raw,
+            valid: true,
+            modified,
+            last: self.clock,
+        };
+        evicted
+    }
+
+    /// Removes `line` if resident, returning its state.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
+        self.find(line.raw()).map(|f| {
+            let frame = &mut self.frames[f];
+            frame.valid = false;
+            Evicted {
+                line: LineAddr::new(frame.line),
+                modified: frame.modified,
+            }
+        })
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> u64 {
+        self.frames.iter().filter(|f| f.valid).count() as u64
+    }
+
+    /// Iterates over resident lines (and their modified bits), in no
+    /// particular order.
+    pub fn resident_lines(&self) -> impl Iterator<Item = (LineAddr, bool)> + '_ {
+        self.frames
+            .iter()
+            .filter(|f| f.valid)
+            .map(|f| (LineAddr::new(f.line), f.modified))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 8 sets x 2 ways x 64 B = 1 KB
+        Cache::new(CacheConfig::set_associative(1 << 10, 2, 64))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.config().sets(), 8);
+        assert_eq!(c.config().frames(), 16);
+    }
+
+    #[test]
+    fn fill_then_lookup_hits() {
+        let mut c = small();
+        let l = LineAddr::new(5);
+        assert!(!c.lookup(l));
+        assert_eq!(c.fill(l, false), None);
+        assert!(c.lookup(l));
+        assert!(c.contains(l));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn conflict_eviction_is_lru() {
+        let mut c = small();
+        // Lines 0, 8, 16 all map to set 0 (8 sets, modulo).
+        c.fill(LineAddr::new(0), false);
+        c.fill(LineAddr::new(8), false);
+        // Touch 0 so 8 is LRU.
+        assert!(c.lookup(LineAddr::new(0)));
+        let ev = c.fill(LineAddr::new(16), false).expect("must evict");
+        assert_eq!(ev.line, LineAddr::new(8));
+        assert!(!ev.modified);
+        assert!(c.contains(LineAddr::new(0)));
+        assert!(c.contains(LineAddr::new(16)));
+    }
+
+    #[test]
+    fn modified_bit_tracks_through_eviction() {
+        let mut c = small();
+        c.fill(LineAddr::new(0), true);
+        c.fill(LineAddr::new(8), false);
+        c.fill(LineAddr::new(16), false); // evicts 0 (LRU)
+        let mut c2 = small();
+        c2.fill(LineAddr::new(0), true);
+        c2.fill(LineAddr::new(8), false);
+        c2.lookup(LineAddr::new(8));
+        let ev = c2.fill(LineAddr::new(16), false).unwrap();
+        assert_eq!(ev.line, LineAddr::new(0));
+        assert!(ev.modified, "dirty eviction must report modified");
+    }
+
+    #[test]
+    fn refill_ors_modified_and_refreshes() {
+        let mut c = small();
+        c.fill(LineAddr::new(0), false);
+        assert_eq!(c.modified(LineAddr::new(0)), Some(false));
+        assert_eq!(c.fill(LineAddr::new(0), true), None);
+        assert_eq!(c.modified(LineAddr::new(0)), Some(true));
+        // A clean refill must not clear the bit.
+        assert_eq!(c.fill(LineAddr::new(0), false), None);
+        assert_eq!(c.modified(LineAddr::new(0)), Some(true));
+    }
+
+    #[test]
+    fn set_modified_reports_presence() {
+        let mut c = small();
+        assert!(!c.set_modified(LineAddr::new(3), true));
+        c.fill(LineAddr::new(3), false);
+        assert!(c.set_modified(LineAddr::new(3), true));
+        assert_eq!(c.modified(LineAddr::new(3)), Some(true));
+        assert!(c.set_modified(LineAddr::new(3), false));
+        assert_eq!(c.modified(LineAddr::new(3)), Some(false));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small();
+        c.fill(LineAddr::new(7), true);
+        let ev = c.invalidate(LineAddr::new(7)).unwrap();
+        assert!(ev.modified);
+        assert!(!c.contains(LineAddr::new(7)));
+        assert!(c.invalidate(LineAddr::new(7)).is_none());
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = small();
+        for i in 0..100u64 {
+            c.fill(LineAddr::new(i), false);
+        }
+        assert_eq!(c.occupancy(), 16);
+    }
+
+    #[test]
+    fn skewed_spreads_conflicts() {
+        // 64 sets x 4 ways. Lines that collide in a modulo cache
+        // (same low bits) should mostly not collide in all skewed ways.
+        let cfg = CacheConfig::skewed(16 << 10, 4, 64);
+        let mut c = Cache::new(cfg);
+        // 8 lines, all equal mod 64: a modulo 4-way cache keeps only 4.
+        for i in 0..8u64 {
+            c.fill(LineAddr::new(i * 64), false);
+        }
+        let resident = (0..8u64)
+            .filter(|&i| c.contains(LineAddr::new(i * 64)))
+            .count();
+        assert!(resident >= 6, "skewing kept only {resident}/8 lines");
+
+        let mut m = Cache::new(CacheConfig::set_associative(16 << 10, 4, 64));
+        for i in 0..8u64 {
+            m.fill(LineAddr::new(i * 64), false);
+        }
+        let resident_m = (0..8u64)
+            .filter(|&i| m.contains(LineAddr::new(i * 64)))
+            .count();
+        assert_eq!(resident_m, 4, "modulo cache must thrash the shared set");
+    }
+
+    #[test]
+    fn resident_lines_iterates_all() {
+        let mut c = small();
+        c.fill(LineAddr::new(1), false);
+        c.fill(LineAddr::new(2), true);
+        let mut lines: Vec<(u64, bool)> = c
+            .resident_lines()
+            .map(|(l, m)| (l.raw(), m))
+            .collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![(1, false), (2, true)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        Cache::new(CacheConfig::set_associative(192, 1, 64));
+    }
+
+    #[test]
+    fn fully_associative_shape_works() {
+        // 1 set x 16 ways.
+        let mut c = Cache::new(CacheConfig::set_associative(1 << 10, 16, 64));
+        assert_eq!(c.config().sets(), 1);
+        for i in 0..16u64 {
+            c.fill(LineAddr::new(i), false);
+        }
+        assert_eq!(c.occupancy(), 16);
+        c.lookup(LineAddr::new(0));
+        let ev = c.fill(LineAddr::new(99), false).unwrap();
+        assert_eq!(ev.line, LineAddr::new(1), "LRU among all ways");
+    }
+}

@@ -1,0 +1,147 @@
+//! A Fenwick (binary indexed) tree over a 0/1 occupancy array.
+//!
+//! Backs [`LruStack`](crate::LruStack): each access slot is marked
+//! occupied while it is the most recent access of some line, and a stack
+//! distance is a range-count of occupied slots.
+
+/// Fenwick tree counting occupied slots in `[0, len)`.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    /// Creates a tree over `len` initially-empty slots.
+    pub fn new(len: usize) -> Self {
+        Fenwick {
+            tree: vec![0; len + 1],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// True if the tree has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn add(&mut self, slot: usize, delta: i32) {
+        let mut i = slot + 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(delta as u32);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Marks `slot` occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `slot` is out of range; marking an
+    /// already-occupied slot corrupts the counts, which callers prevent.
+    pub fn set(&mut self, slot: usize) {
+        debug_assert!(slot < self.len());
+        self.add(slot, 1);
+    }
+
+    /// Marks `slot` empty.
+    pub fn clear(&mut self, slot: usize) {
+        debug_assert!(slot < self.len());
+        self.add(slot, -1);
+    }
+
+    /// Number of occupied slots in `[0, end)`.
+    pub fn prefix(&self, end: usize) -> u32 {
+        let mut i = end.min(self.len());
+        let mut sum = 0u32;
+        while i > 0 {
+            sum = sum.wrapping_add(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Number of occupied slots in `[lo, hi)`.
+    pub fn count_range(&self, lo: usize, hi: usize) -> u32 {
+        if lo >= hi {
+            return 0;
+        }
+        self.prefix(hi) - self.prefix(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree_counts_zero() {
+        let f = Fenwick::new(16);
+        assert_eq!(f.prefix(16), 0);
+        assert_eq!(f.count_range(0, 16), 0);
+        assert!(!f.is_empty());
+        assert!(Fenwick::new(0).is_empty());
+    }
+
+    #[test]
+    fn set_and_count() {
+        let mut f = Fenwick::new(10);
+        f.set(0);
+        f.set(4);
+        f.set(9);
+        assert_eq!(f.prefix(10), 3);
+        assert_eq!(f.prefix(5), 2);
+        assert_eq!(f.prefix(4), 1);
+        assert_eq!(f.count_range(1, 10), 2);
+        assert_eq!(f.count_range(5, 9), 0);
+        assert_eq!(f.count_range(4, 5), 1);
+    }
+
+    #[test]
+    fn clear_removes() {
+        let mut f = Fenwick::new(8);
+        for i in 0..8 {
+            f.set(i);
+        }
+        f.clear(3);
+        f.clear(7);
+        assert_eq!(f.prefix(8), 6);
+        assert_eq!(f.count_range(3, 4), 0);
+    }
+
+    #[test]
+    fn count_range_degenerate() {
+        let mut f = Fenwick::new(4);
+        f.set(2);
+        assert_eq!(f.count_range(3, 2), 0);
+        assert_eq!(f.count_range(2, 2), 0);
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        // Deterministic pseudo-random workout against a boolean array.
+        let n = 200;
+        let mut f = Fenwick::new(n);
+        let mut naive = vec![false; n];
+        let mut state = 12345u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let slot = (state >> 33) as usize % n;
+            if naive[slot] {
+                f.clear(slot);
+                naive[slot] = false;
+            } else {
+                f.set(slot);
+                naive[slot] = true;
+            }
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let lo = (state >> 40) as usize % n;
+            let hi = lo + (state >> 20) as usize % (n - lo + 1);
+            let expect = naive[lo..hi].iter().filter(|&&b| b).count() as u32;
+            assert_eq!(f.count_range(lo, hi), expect);
+        }
+    }
+}

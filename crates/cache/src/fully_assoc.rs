@@ -1,0 +1,244 @@
+//! An O(1) fully-associative LRU cache.
+//!
+//! §4.1 filters the reference stream through 16 KB *fully-associative*
+//! LRU L1 caches before profiling. A way-scan implementation would cost
+//! O(capacity) per access; this one keeps an intrusive doubly-linked
+//! recency list over an arena plus a hash map, for O(1) expected time.
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    line: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// Fully-associative cache with true LRU replacement.
+///
+/// ```
+/// use execmig_cache::FullyAssocLru;
+/// let mut c = FullyAssocLru::new(2);
+/// assert!(!c.access(1)); // miss, fill
+/// assert!(!c.access(2)); // miss, fill
+/// assert!(c.access(1));  // hit
+/// assert!(!c.access(3)); // miss, evicts 2 (LRU)
+/// assert!(!c.access(2)); // miss again
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullyAssocLru {
+    capacity: usize,
+    nodes: Vec<Node>,
+    index: HashMap<u64, u32>,
+    /// Most recently used node, or NIL.
+    head: u32,
+    /// Least recently used node, or NIL.
+    tail: u32,
+}
+
+impl FullyAssocLru {
+    /// Creates a cache holding `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache must hold at least one line");
+        assert!(capacity < NIL as usize, "capacity too large");
+        FullyAssocLru {
+            capacity,
+            nodes: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Lines the cache can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lines currently resident.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// True if `line` is resident (no recency update).
+    pub fn contains(&self, line: u64) -> bool {
+        self.index.contains_key(&line)
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[i as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: u32) {
+        let old_head = self.head;
+        {
+            let n = &mut self.nodes[i as usize];
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = i;
+        } else {
+            self.tail = i;
+        }
+        self.head = i;
+    }
+
+    /// Accesses `line`: returns true on hit. On a miss the line is
+    /// filled, evicting the LRU line if the cache is full.
+    pub fn access(&mut self, line: u64) -> bool {
+        if let Some(&i) = self.index.get(&line) {
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return true;
+        }
+        let i = if self.index.len() < self.capacity {
+            let i = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                line,
+                prev: NIL,
+                next: NIL,
+            });
+            i
+        } else {
+            // Reuse the LRU node.
+            let i = self.tail;
+            let victim = self.nodes[i as usize].line;
+            self.index.remove(&victim);
+            self.unlink(i);
+            self.nodes[i as usize].line = line;
+            i
+        };
+        self.index.insert(line, i);
+        self.push_front(i);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference: recency-ordered Vec.
+    struct NaiveLru {
+        cap: usize,
+        order: Vec<u64>, // most recent last
+    }
+
+    impl NaiveLru {
+        fn access(&mut self, line: u64) -> bool {
+            let hit = self.order.contains(&line);
+            self.order.retain(|&l| l != line);
+            self.order.push(line);
+            if self.order.len() > self.cap {
+                self.order.remove(0);
+            }
+            hit
+        }
+    }
+
+    #[test]
+    fn basic_hit_miss_evict() {
+        let mut c = FullyAssocLru::new(2);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert_eq!(c.len(), 2);
+        assert!(c.access(1));
+        assert!(!c.access(3)); // evicts 2
+        assert!(!c.contains(2));
+        assert!(c.contains(1));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c = FullyAssocLru::new(1);
+        assert!(!c.access(1));
+        assert!(c.access(1));
+        assert!(!c.access(2));
+        assert!(!c.access(1));
+    }
+
+    #[test]
+    fn matches_naive_on_random_stream() {
+        for cap in [1usize, 2, 7, 64] {
+            let mut fast = FullyAssocLru::new(cap);
+            let mut naive = NaiveLru {
+                cap,
+                order: Vec::new(),
+            };
+            let mut state = 7u64;
+            for i in 0..20_000 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let line = (state >> 33) % (cap as u64 * 3);
+                assert_eq!(
+                    fast.access(line),
+                    naive.access(line),
+                    "cap {cap} step {i} line {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn circular_over_capacity_always_misses() {
+        let mut c = FullyAssocLru::new(100);
+        // Warm up.
+        for e in 0..150u64 {
+            c.access(e);
+        }
+        // LRU on a circular stream larger than capacity: every miss.
+        for round in 0..3 {
+            for e in 0..150u64 {
+                assert!(!c.access(e), "round {round} element {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn circular_within_capacity_always_hits() {
+        let mut c = FullyAssocLru::new(100);
+        for e in 0..100u64 {
+            c.access(e);
+        }
+        for _ in 0..3 {
+            for e in 0..100u64 {
+                assert!(c.access(e));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn rejects_zero_capacity() {
+        FullyAssocLru::new(0);
+    }
+}

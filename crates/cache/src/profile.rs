@@ -1,0 +1,183 @@
+//! Stack-depth histograms and the `p(x)` miss-ratio curves of
+//! Figures 4 and 5.
+
+/// Histogram of stack depths, yielding the fraction of references whose
+/// depth exceeds any given cache size.
+///
+/// The paper's `p(x)` "gives the fraction of dynamic references (i.e.,
+/// L1 misses) with a LRU stack depth greater than `x`, considering that a
+/// reference which is encountered for the first time has an infinite LRU
+/// stack depth" (§4.1).
+///
+/// ```
+/// use execmig_cache::StackProfile;
+/// let mut p = StackProfile::new(1024);
+/// p.record(Some(5));
+/// p.record(Some(100));
+/// p.record(None); // first touch
+/// assert_eq!(p.frac_deeper_than(4), 1.0);
+/// assert_eq!(p.frac_deeper_than(5), 2.0 / 3.0);
+/// assert_eq!(p.frac_deeper_than(1000), 1.0 / 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackProfile {
+    /// counts[d] = references with depth d (1-based; index 0 unused).
+    counts: Vec<u64>,
+    /// References deeper than the tracked range.
+    overflow: u64,
+    /// First-touch references (infinite depth).
+    infinite: u64,
+    total: u64,
+}
+
+impl StackProfile {
+    /// Creates a profile tracking depths up to `max_depth` lines
+    /// exactly; deeper references fall into an overflow bucket that
+    /// still counts as "deeper than x" for every tracked `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth == 0`.
+    pub fn new(max_depth: usize) -> Self {
+        assert!(max_depth > 0, "profile needs a positive depth range");
+        StackProfile {
+            counts: vec![0; max_depth + 1],
+            overflow: 0,
+            infinite: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one reference's stack depth (`None` = first touch).
+    pub fn record(&mut self, depth: Option<u64>) {
+        self.total += 1;
+        match depth {
+            None => self.infinite += 1,
+            Some(d) if (d as usize) < self.counts.len() => self.counts[d as usize] += 1,
+            Some(_) => self.overflow += 1,
+        }
+    }
+
+    /// Total references recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// First-touch references recorded.
+    pub fn first_touches(&self) -> u64 {
+        self.infinite
+    }
+
+    /// Number of references with depth strictly greater than `x` lines
+    /// (including overflow and first touches).
+    pub fn count_deeper_than(&self, x: u64) -> u64 {
+        let start = (x as usize + 1).min(self.counts.len());
+        let tracked: u64 = self.counts[start..].iter().sum();
+        tracked + self.overflow + self.infinite
+    }
+
+    /// Fraction of references with depth strictly greater than `x`
+    /// lines — the miss ratio of a fully-associative LRU cache holding
+    /// `x` lines. Returns 0 when nothing was recorded.
+    pub fn frac_deeper_than(&self, x: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.count_deeper_than(x) as f64 / self.total as f64
+    }
+
+    /// Merges another profile into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiles track different depth ranges.
+    pub fn merge(&mut self, other: &StackProfile) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge profiles with different depth ranges"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.infinite += other.infinite;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let p = StackProfile::new(10);
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.frac_deeper_than(5), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_x() {
+        let mut p = StackProfile::new(100);
+        for d in 1..=100 {
+            p.record(Some(d));
+        }
+        let mut prev = 2.0;
+        for x in 0..=100 {
+            let f = p.frac_deeper_than(x);
+            assert!(f <= prev, "p({x}) = {f} rose above {prev}");
+            prev = f;
+        }
+        assert_eq!(p.frac_deeper_than(0), 1.0);
+        assert_eq!(p.frac_deeper_than(100), 0.0);
+    }
+
+    #[test]
+    fn overflow_counts_as_deep() {
+        let mut p = StackProfile::new(10);
+        p.record(Some(1_000_000));
+        assert_eq!(p.frac_deeper_than(10), 1.0);
+        assert_eq!(p.frac_deeper_than(0), 1.0);
+    }
+
+    #[test]
+    fn first_touches_always_deeper() {
+        let mut p = StackProfile::new(10);
+        p.record(None);
+        p.record(Some(2));
+        assert_eq!(p.first_touches(), 1);
+        assert_eq!(p.frac_deeper_than(10), 0.5);
+    }
+
+    #[test]
+    fn exact_boundary_semantics() {
+        // Depth d counts as deeper than x iff d > x: a cache of x lines
+        // hits depths <= x.
+        let mut p = StackProfile::new(10);
+        p.record(Some(5));
+        assert_eq!(p.frac_deeper_than(4), 1.0);
+        assert_eq!(p.frac_deeper_than(5), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = StackProfile::new(10);
+        let mut b = StackProfile::new(10);
+        a.record(Some(3));
+        b.record(Some(7));
+        b.record(None);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count_deeper_than(3), 2);
+        assert_eq!(a.count_deeper_than(7), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different depth ranges")]
+    fn merge_rejects_mismatched() {
+        let mut a = StackProfile::new(10);
+        let b = StackProfile::new(20);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,187 @@
+//! Mattson LRU stack-distance computation.
+//!
+//! For each reference, the *stack depth* is the line's position in the
+//! LRU stack: 1 if it is the most recently used line, `k` if `k − 1`
+//! distinct other lines were referenced since its previous access. A
+//! fully-associative LRU cache of `C` lines hits exactly the references
+//! with depth ≤ `C` (Mattson et al., 1970), so one pass yields the miss
+//! ratio for *every* cache size — the `p(x)` curves of Figures 4 and 5.
+//!
+//! First-touch references have no previous access; the paper treats them
+//! as infinitely deep, represented here as `None`.
+//!
+//! Complexity is O(log n) per access via a Fenwick tree over access
+//! slots, with periodic compaction.
+
+use crate::fenwick::Fenwick;
+use std::collections::HashMap;
+
+const MIN_CAPACITY: usize = 1024;
+
+/// An LRU stack producing a stack depth per reference.
+///
+/// ```
+/// use execmig_cache::LruStack;
+/// let mut s = LruStack::new();
+/// assert_eq!(s.access(10), None);    // first touch: infinite depth
+/// assert_eq!(s.access(20), None);
+/// assert_eq!(s.access(10), Some(2)); // one distinct line in between
+/// assert_eq!(s.access(10), Some(1)); // immediate re-reference
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruStack {
+    /// line -> slot of its most recent access.
+    pos: HashMap<u64, usize>,
+    occupied: Fenwick,
+    next_slot: usize,
+}
+
+impl LruStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        LruStack {
+            pos: HashMap::new(),
+            occupied: Fenwick::new(MIN_CAPACITY),
+            next_slot: 0,
+        }
+    }
+
+    /// Number of distinct lines ever referenced (the stack height).
+    pub fn distinct_lines(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// References `line`; returns its stack depth (1-based), or `None`
+    /// on first touch.
+    pub fn access(&mut self, line: u64) -> Option<u64> {
+        let depth = match self.pos.remove(&line) {
+            Some(slot) => {
+                let after = self.occupied.count_range(slot + 1, self.next_slot);
+                self.occupied.clear(slot);
+                Some(after as u64 + 1)
+            }
+            None => None,
+        };
+        if self.next_slot == self.occupied.len() {
+            self.compact();
+        }
+        self.occupied.set(self.next_slot);
+        self.pos.insert(line, self.next_slot);
+        self.next_slot += 1;
+        depth
+    }
+
+    /// Reassigns slots compactly, preserving recency order. Called with
+    /// the current line already removed from `pos`, so every `pos` entry
+    /// owns exactly one occupied slot.
+    fn compact(&mut self) {
+        let mut entries: Vec<(u64, usize)> =
+            self.pos.iter().map(|(&l, &s)| (l, s)).collect();
+        entries.sort_unstable_by_key(|&(_, s)| s);
+        let live = entries.len();
+        let capacity = (live * 2).max(MIN_CAPACITY);
+        self.occupied = Fenwick::new(capacity);
+        for (new_slot, (line, _)) in entries.into_iter().enumerate() {
+            self.occupied.set(new_slot);
+            self.pos.insert(line, new_slot);
+        }
+        self.next_slot = live;
+    }
+}
+
+impl Default for LruStack {
+    fn default() -> Self {
+        LruStack::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference implementation: a vector ordered by recency.
+    struct NaiveStack {
+        order: Vec<u64>,
+    }
+
+    impl NaiveStack {
+        fn new() -> Self {
+            NaiveStack { order: Vec::new() }
+        }
+
+        fn access(&mut self, line: u64) -> Option<u64> {
+            let depth = self
+                .order
+                .iter()
+                .rev()
+                .position(|&l| l == line)
+                .map(|p| p as u64 + 1);
+            self.order.retain(|&l| l != line);
+            self.order.push(line);
+            depth
+        }
+    }
+
+    #[test]
+    fn first_touch_is_infinite() {
+        let mut s = LruStack::new();
+        assert_eq!(s.access(1), None);
+        assert_eq!(s.access(2), None);
+        assert_eq!(s.distinct_lines(), 2);
+    }
+
+    #[test]
+    fn immediate_reref_is_depth_one() {
+        let mut s = LruStack::new();
+        s.access(5);
+        assert_eq!(s.access(5), Some(1));
+        assert_eq!(s.access(5), Some(1));
+    }
+
+    #[test]
+    fn circular_pattern_has_depth_n() {
+        let n = 100u64;
+        let mut s = LruStack::new();
+        for e in 0..n {
+            assert_eq!(s.access(e), None);
+        }
+        for round in 0..5 {
+            for e in 0..n {
+                assert_eq!(s.access(e), Some(n), "round {round} element {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_stream() {
+        let mut fast = LruStack::new();
+        let mut naive = NaiveStack::new();
+        let mut state = 99u64;
+        for i in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let line = (state >> 33) % 300;
+            assert_eq!(fast.access(line), naive.access(line), "step {i}");
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_depths() {
+        // Force many compactions with a tiny live set and lots of
+        // accesses: capacity stays at MIN_CAPACITY while slots churn.
+        let mut fast = LruStack::new();
+        let mut naive = NaiveStack::new();
+        for i in 0..50_000u64 {
+            let line = i % 7;
+            assert_eq!(fast.access(line), naive.access(line), "step {i}");
+        }
+    }
+
+    #[test]
+    fn distinct_lines_counts() {
+        let mut s = LruStack::new();
+        for i in 0..1000 {
+            s.access(i % 37);
+        }
+        assert_eq!(s.distinct_lines(), 37);
+    }
+}

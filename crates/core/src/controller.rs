@@ -1,0 +1,429 @@
+//! The migration controller (§2.2, §3).
+//!
+//! "The migration controller monitors all the L1-miss requests issued
+//! from the active processor, and it bases its decisions on current and
+//! past requests." Each monitored request updates the affinity
+//! mechanisms; the designated subset maps one-to-one onto a core, and a
+//! change of designated core is a migration request.
+//!
+//! With *L2 filtering* (§3.4) the transition filters are updated only on
+//! requests that miss the active L2, "so a migration can happen only
+//! upon a L2 miss".
+
+use crate::sampler::Sampler;
+use crate::splitter2::{Splitter2, SplitterConfig, SplitterStats};
+use crate::splitter4::{Quadrant, Splitter4, Splitter4Config};
+use crate::tree::{SplitterTree, SplitterTreeConfig};
+use crate::table::{
+    AffinityTable, AnyAffinityTable, SkewedAffinityCache, TableStats,
+    UnboundedAffinityTable,
+};
+use crate::mechanism::{DeltaMode, SignMode};
+use crate::Side;
+
+/// Degree of working-set splitting (= number of cores used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SplitWays {
+    /// 2-way splitting (2-core machine).
+    Two,
+    /// 4-way recursive splitting (the paper's 4-core machine).
+    Four,
+    /// 8-way splitting — the §6 "larger number of cores" extension,
+    /// via a third recursion level (see [`SplitterTree`]).
+    Eight,
+}
+
+impl SplitWays {
+    /// Number of subsets/cores.
+    pub const fn count(self) -> usize {
+        match self {
+            SplitWays::Two => 2,
+            SplitWays::Four => 4,
+            SplitWays::Eight => 8,
+        }
+    }
+}
+
+/// Affinity-cache sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableConfig {
+    /// Unlimited storage (§4.1).
+    Unbounded,
+    /// Finite skewed-associative cache (§4.2: 8k entries, 4 ways).
+    Skewed {
+        /// Total entries.
+        entries: u64,
+        /// Associativity.
+        ways: u32,
+    },
+}
+
+/// Configuration of a [`MigrationController`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerConfig {
+    /// 2-way or 4-way splitting.
+    pub ways: SplitWays,
+    /// Bits of the affinity values (paper: 16).
+    pub affinity_bits: u32,
+    /// `|R_X|` (paper: 128).
+    pub r_window_x: usize,
+    /// `|R_Y|` for the second-level mechanisms (paper: 64).
+    pub r_window_y: usize,
+    /// Transition-filter width.
+    pub filter_bits: u32,
+    /// Working-set sampling.
+    pub sampler: Sampler,
+    /// Affinity-cache sizing.
+    pub table: TableConfig,
+    /// Update transition filters only on L2 misses (§3.4 "L2
+    /// filtering").
+    pub l2_filter: bool,
+    /// §6 extension: update transition filters only on requests coming
+    /// from *pointer loads* ("restrict the class of applications
+    /// triggering migrations"). Off in the paper's main configuration.
+    pub pointer_filter: bool,
+    /// Sign source for the `∆` updates.
+    pub sign_mode: SignMode,
+    /// Bounding of `∆` and the stored values.
+    pub delta_mode: DeltaMode,
+}
+
+impl ControllerConfig {
+    /// The §4.2 machine configuration: 4-way splitting, 8k-entry 4-way
+    /// skewed affinity cache, 25 % sampling, 18-bit filters, L2
+    /// filtering, `|R_X|` = 128, `|R_Y|` = 64.
+    pub fn paper_4core() -> Self {
+        ControllerConfig {
+            ways: SplitWays::Four,
+            affinity_bits: 16,
+            r_window_x: 128,
+            r_window_y: 64,
+            filter_bits: 18,
+            sampler: Sampler::quarter(),
+            table: TableConfig::Skewed {
+                entries: 8 << 10,
+                ways: 4,
+            },
+            l2_filter: true,
+            pointer_filter: false,
+            sign_mode: SignMode::TrueSum,
+            delta_mode: DeltaMode::Wide,
+        }
+    }
+
+    /// The §4.1 stack-profile configuration: 4-way splitting, unlimited
+    /// affinity cache, every line sampled, 20-bit filters, no L2
+    /// filtering.
+    pub fn paper_stack_profile() -> Self {
+        ControllerConfig {
+            ways: SplitWays::Four,
+            affinity_bits: 16,
+            r_window_x: 128,
+            r_window_y: 64,
+            filter_bits: 20,
+            sampler: Sampler::full(),
+            table: TableConfig::Unbounded,
+            l2_filter: false,
+            pointer_filter: false,
+            sign_mode: SignMode::TrueSum,
+            delta_mode: DeltaMode::Wide,
+        }
+    }
+
+    fn build_table(&self) -> AnyAffinityTable {
+        match self.table {
+            TableConfig::Unbounded => {
+                AnyAffinityTable::Unbounded(UnboundedAffinityTable::new())
+            }
+            TableConfig::Skewed { entries, ways } => {
+                AnyAffinityTable::Skewed(SkewedAffinityCache::new(entries, ways))
+            }
+        }
+    }
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig::paper_4core()
+    }
+}
+
+/// Counters exposed by the controller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ControllerStats {
+    /// L1-miss requests monitored.
+    pub requests: u64,
+    /// Requests flagged as L2 misses.
+    pub l2_misses: u64,
+    /// Times the designated core changed (= migration requests).
+    pub migrations: u64,
+}
+
+enum Inner {
+    Two(Splitter2<AnyAffinityTable>),
+    Four(Splitter4<AnyAffinityTable>),
+    Eight(SplitterTree<AnyAffinityTable>),
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Inner::Two(_) => f.write_str("Inner::Two(..)"),
+            Inner::Four(_) => f.write_str("Inner::Four(..)"),
+            Inner::Eight(_) => f.write_str("Inner::Eight(..)"),
+        }
+    }
+}
+
+/// The migration controller: monitors L1-miss requests and designates
+/// the core that should execute.
+///
+/// ```
+/// use execmig_core::{ControllerConfig, MigrationController};
+/// let mut mc = MigrationController::new(ControllerConfig::paper_4core());
+/// let core = mc.on_request(0x1000, true);
+/// assert!(core < 4);
+/// assert_eq!(mc.stats().requests, 1);
+/// ```
+#[derive(Debug)]
+pub struct MigrationController {
+    config: ControllerConfig,
+    inner: Inner,
+    current_core: usize,
+    stats: ControllerStats,
+}
+
+impl MigrationController {
+    /// Builds a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid widths or table geometry (see
+    /// [`SkewedAffinityCache::new`]).
+    pub fn new(config: ControllerConfig) -> Self {
+        let table = config.build_table();
+        let inner = match config.ways {
+            SplitWays::Two => Inner::Two(Splitter2::with_table(
+                SplitterConfig {
+                    affinity_bits: config.affinity_bits,
+                    r_window: config.r_window_x,
+                    filter_bits: Some(config.filter_bits),
+                    sign_mode: config.sign_mode,
+                    delta_mode: config.delta_mode,
+                },
+                table,
+            )),
+            SplitWays::Four => Inner::Four(Splitter4::with_table(
+                Splitter4Config {
+                    affinity_bits: config.affinity_bits,
+                    r_window_x: config.r_window_x,
+                    r_window_y: config.r_window_y,
+                    filter_bits: config.filter_bits,
+                    sampler: config.sampler,
+                    sign_mode: config.sign_mode,
+                    delta_mode: config.delta_mode,
+                },
+                table,
+            )),
+            SplitWays::Eight => Inner::Eight(SplitterTree::with_table(
+                SplitterTreeConfig {
+                    depth: 3,
+                    affinity_bits: config.affinity_bits,
+                    r_window_top: config.r_window_x,
+                    filter_bits: config.filter_bits,
+                    sampler: config.sampler,
+                    sign_mode: config.sign_mode,
+                    delta_mode: config.delta_mode,
+                },
+                table,
+            )),
+        };
+        MigrationController {
+            config,
+            inner,
+            current_core: 0,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Number of cores the controller schedules over.
+    pub fn cores(&self) -> usize {
+        self.config.ways.count()
+    }
+
+    /// Processes an L1-miss request for `line`. `l2_miss` says whether
+    /// the request missed the active core's L2 (relevant under L2
+    /// filtering). Returns the core that should execute next.
+    ///
+    /// Requests are treated as pointer loads (the permissive default);
+    /// use [`on_request_tagged`](Self::on_request_tagged) when the
+    /// request's origin is known and pointer filtering is configured.
+    pub fn on_request(&mut self, line: u64, l2_miss: bool) -> usize {
+        self.on_request_tagged(line, l2_miss, true)
+    }
+
+    /// Like [`on_request`](Self::on_request), with the request's
+    /// pointer-load origin. Under [`ControllerConfig::pointer_filter`],
+    /// only pointer-load requests may update the transition filters.
+    pub fn on_request_tagged(&mut self, line: u64, l2_miss: bool, pointer: bool) -> usize {
+        self.stats.requests += 1;
+        if l2_miss {
+            self.stats.l2_misses += 1;
+        }
+        let update_filter = (!self.config.l2_filter || l2_miss)
+            && (!self.config.pointer_filter || pointer);
+        let core = match &mut self.inner {
+            Inner::Two(s) => s.on_reference_filtered(line, update_filter).index(),
+            Inner::Four(s) => s.on_reference_filtered(line, update_filter).index(),
+            Inner::Eight(s) => s.on_reference_filtered(line, update_filter),
+        };
+        if core != self.current_core {
+            self.stats.migrations += 1;
+            self.current_core = core;
+        }
+        core
+    }
+
+    /// The core currently designated.
+    pub fn current_core(&self) -> usize {
+        self.current_core
+    }
+
+    /// Controller counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// Splitter-level transition statistics.
+    pub fn splitter_stats(&self) -> SplitterStats {
+        match &self.inner {
+            Inner::Two(s) => s.stats(),
+            Inner::Four(s) => s.stats(),
+            Inner::Eight(s) => s.stats(),
+        }
+    }
+
+    /// Affinity-table statistics.
+    pub fn table_stats(&self) -> TableStats {
+        match &self.inner {
+            Inner::Two(s) => s.table().stats(),
+            Inner::Four(s) => s.table_stats(),
+            Inner::Eight(s) => s.table_stats(),
+        }
+    }
+
+    /// The quadrant/side currently designated, as a subset index.
+    pub fn current_subset(&self) -> usize {
+        match &self.inner {
+            Inner::Two(s) => s.current_side().index(),
+            Inner::Four(s) => s.current_quadrant().index(),
+            Inner::Eight(s) => s.current_subset(),
+        }
+    }
+}
+
+/// Maps a 2-way side to a core index (0 or 1).
+pub fn core_of_side(side: Side) -> usize {
+    side.index()
+}
+
+/// Maps a quadrant to a core index (0..4).
+pub fn core_of_quadrant(q: Quadrant) -> usize {
+    q.index()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_core_controller_schedules_in_range() {
+        let mut mc = MigrationController::new(ControllerConfig::paper_4core());
+        for t in 0..10_000u64 {
+            let core = mc.on_request(t % 3000, t % 7 == 0);
+            assert!(core < 4);
+        }
+        assert_eq!(mc.stats().requests, 10_000);
+    }
+
+    #[test]
+    fn two_way_controller_uses_two_cores() {
+        let cfg = ControllerConfig {
+            ways: SplitWays::Two,
+            ..ControllerConfig::paper_4core()
+        };
+        let mut mc = MigrationController::new(cfg);
+        assert_eq!(mc.cores(), 2);
+        for t in 0..10_000u64 {
+            assert!(mc.on_request(t % 3000, true) < 2);
+        }
+    }
+
+    #[test]
+    fn l2_filtering_blocks_migrations_without_l2_misses() {
+        let mut mc = MigrationController::new(ControllerConfig::paper_4core());
+        for t in 0..100_000u64 {
+            mc.on_request(t % 3000, false);
+        }
+        assert_eq!(mc.stats().migrations, 0, "migrated despite no L2 misses");
+    }
+
+    #[test]
+    fn without_l2_filtering_migrations_happen_on_circular() {
+        let cfg = ControllerConfig {
+            l2_filter: false,
+            table: TableConfig::Unbounded,
+            sampler: Sampler::full(),
+            filter_bits: 14,
+            ..ControllerConfig::paper_4core()
+        };
+        let mut mc = MigrationController::new(cfg);
+        for t in 0..2_000_000u64 {
+            mc.on_request(t % 16_000, false);
+        }
+        assert!(mc.stats().migrations > 0, "no migrations on circular");
+    }
+
+    #[test]
+    fn migration_count_matches_core_changes() {
+        let mut mc = MigrationController::new(ControllerConfig {
+            l2_filter: false,
+            ..ControllerConfig::paper_stack_profile()
+        });
+        let mut last = mc.current_core();
+        let mut changes = 0u64;
+        for t in 0..500_000u64 {
+            let core = mc.on_request(t % 20_000, true);
+            if core != last {
+                changes += 1;
+                last = core;
+            }
+        }
+        assert_eq!(mc.stats().migrations, changes);
+    }
+
+    #[test]
+    fn table_stats_reflect_config() {
+        let mut small = MigrationController::new(ControllerConfig {
+            table: TableConfig::Skewed {
+                entries: 64,
+                ways: 4,
+            },
+            sampler: Sampler::full(),
+            ..ControllerConfig::paper_4core()
+        });
+        for t in 0..50_000u64 {
+            small.on_request(t % 10_000, true);
+        }
+        assert!(
+            small.table_stats().miss_rate() > 0.3,
+            "tiny affinity cache should thrash: {:?}",
+            small.table_stats()
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! The idealized affinity algorithm of Definition 1 (§3.2), implemented
+//! literally: every element's affinity is updated on every reference,
+//! and `R` is the set of the `n` most recently referenced *distinct*
+//! elements (true LRU, no FIFO relaxation).
+//!
+//! This is O(working set) per reference, so it only suits small examples
+//! — exactly its purpose: a ground-truth oracle the hardware-shaped
+//! [`Mechanism`](crate::Mechanism) is validated against in tests and in
+//! the `ablation_signmode` experiment.
+
+use crate::Side;
+use std::collections::HashMap;
+
+/// Literal implementation of the affinity update (Equation 1).
+#[derive(Debug, Clone)]
+pub struct IdealAffinity {
+    n: usize,
+    affinity: HashMap<u64, i64>,
+    /// Recency list, most recent last; `R` is the last `min(n, len)`
+    /// distinct elements.
+    recency: Vec<u64>,
+}
+
+impl IdealAffinity {
+    /// Creates the oracle with `|R| = n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "R must be non-empty");
+        IdealAffinity {
+            n,
+            affinity: HashMap::new(),
+            recency: Vec::new(),
+        }
+    }
+
+    /// Processes a reference to `e` and returns `A_e` before the update
+    /// (the value a transition filter would consume).
+    pub fn on_reference(&mut self, e: u64) -> i64 {
+        // A_e(t_e) = 0 on first reference.
+        let a_e = *self.affinity.entry(e).or_insert(0);
+        // Update the recency list: move e to the back.
+        if let Some(pos) = self.recency.iter().position(|&x| x == e) {
+            self.recency.remove(pos);
+        }
+        self.recency.push(e);
+        // R = the n most recently referenced distinct elements.
+        let start = self.recency.len().saturating_sub(self.n);
+        let r: &[u64] = &self.recency[start..];
+        let a_r: i64 = r.iter().map(|x| self.affinity[x]).sum();
+        let s = Side::of(a_r).sign();
+        // Equation 1: +s inside R, −s outside.
+        let r_set: std::collections::HashSet<u64> = r.iter().copied().collect();
+        for (el, a) in self.affinity.iter_mut() {
+            if r_set.contains(el) {
+                *a += s;
+            } else {
+                *a -= s;
+            }
+        }
+        a_e
+    }
+
+    /// The current affinity of `e`, if ever referenced.
+    pub fn affinity_of(&self, e: u64) -> Option<i64> {
+        self.affinity.get(&e).copied()
+    }
+
+    /// The side of `e` by raw affinity sign.
+    pub fn side_of(&self, e: u64) -> Option<Side> {
+        self.affinity_of(e).map(Side::of)
+    }
+
+    /// Fraction of elements in `range` with non-negative affinity.
+    pub fn positive_fraction(&self, range: std::ops::Range<u64>) -> f64 {
+        let mut tracked = 0u64;
+        let mut positive = 0u64;
+        for e in range {
+            if let Some(a) = self.affinity_of(e) {
+                tracked += 1;
+                if a >= 0 {
+                    positive += 1;
+                }
+            }
+        }
+        if tracked == 0 {
+            0.0
+        } else {
+            positive as f64 / tracked as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{Mechanism, MechanismConfig};
+    use crate::table::UnboundedAffinityTable;
+
+    #[test]
+    fn circular_splits_with_ideal_algorithm() {
+        let n = 400u64;
+        let mut ideal = IdealAffinity::new(50);
+        for t in 0..100_000u64 {
+            ideal.on_reference(t % n);
+        }
+        let frac = ideal.positive_fraction(0..n);
+        assert!((0.35..=0.65).contains(&frac), "ideal fraction {frac}");
+    }
+
+    #[test]
+    fn ideal_and_mechanism_agree_on_splittability() {
+        // Both should split Circular(400) with |R|=50 into balanced
+        // halves; the exact assignment may differ.
+        let n = 400u64;
+        let mut ideal = IdealAffinity::new(50);
+        let mut mech = Mechanism::new(MechanismConfig {
+            r_window: 50,
+            ..MechanismConfig::default()
+        });
+        let mut table = UnboundedAffinityTable::new();
+        for t in 0..100_000u64 {
+            ideal.on_reference(t % n);
+            mech.on_reference(t % n, &mut table);
+        }
+        let fi = ideal.positive_fraction(0..n);
+        let fm = (0..n)
+            .filter(|&e| mech.side_of(e, &table) == Some(Side::Plus))
+            .count() as f64
+            / n as f64;
+        assert!((0.35..=0.65).contains(&fi), "ideal {fi}");
+        assert!((0.35..=0.65).contains(&fm), "mechanism {fm}");
+    }
+
+    #[test]
+    fn ideal_groups_synchronous_elements() {
+        // §3.2 positive feedback: groups of m synchronous elements
+        // (referenced together, |R| = m) acquire a uniform sign inside
+        // each group, while the negative feedback balances group signs
+        // across the working set. The universe must exceed 2|R|
+        // (10 groups of 20 = 200 elements, |R| = 20).
+        let m = 20u64;
+        let groups = 10u64;
+        let mut ideal = IdealAffinity::new(m as usize);
+        for round in 0..4000 {
+            let g = round % groups;
+            for e in 0..m {
+                ideal.on_reference(g * 100 + e);
+            }
+        }
+        let mut coherent = 0;
+        let mut positive_groups = 0;
+        for g in 0..groups {
+            let frac = ideal.positive_fraction(g * 100..g * 100 + m);
+            if frac <= 0.1 || frac >= 0.9 {
+                coherent += 1;
+            }
+            if frac >= 0.5 {
+                positive_groups += 1;
+            }
+        }
+        assert!(coherent >= 8, "only {coherent}/10 groups sign-coherent");
+        assert!(
+            (3..=7).contains(&positive_groups),
+            "group signs unbalanced: {positive_groups}/10 positive"
+        );
+    }
+
+    #[test]
+    fn first_reference_is_zero() {
+        let mut ideal = IdealAffinity::new(4);
+        assert_eq!(ideal.on_reference(7), 0);
+        assert_eq!(ideal.affinity_of(8), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! Width-limited saturating signed arithmetic.
+//!
+//! §3.2: "In practice, `O_e` is coded with a limited number of bits.
+//! Consequently, the affinity algorithm works with saturating addition.
+//! Throughout this study, we assume 16 bits are used for coding the
+//! affinity. The other parameters are dimensioned accordingly:
+//! `bits[I_e] = bits[O_e] = 16`, `bits[A_R] = bits[O_e] + log2(|R|)`,
+//! `bits[∆] = bits[O_e] + 1`."
+
+/// Inclusive range of an `n`-bit two's-complement value.
+///
+/// ```
+/// use execmig_core::sat::range;
+/// assert_eq!(range(16), (-32768, 32767));
+/// assert_eq!(range(4), (-8, 7));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or above 62 (values must fit comfortably in
+/// `i64` arithmetic without overflow).
+pub const fn range(bits: u32) -> (i64, i64) {
+    assert!(bits >= 1 && bits <= 62, "width out of supported range");
+    (-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+}
+
+/// Clamps `v` to `bits` bits (saturating).
+///
+/// ```
+/// use execmig_core::sat::clamp;
+/// assert_eq!(clamp(40_000, 16), 32767);
+/// assert_eq!(clamp(-40_000, 16), -32768);
+/// assert_eq!(clamp(123, 16), 123);
+/// ```
+pub const fn clamp(v: i64, bits: u32) -> i64 {
+    let (lo, hi) = range(bits);
+    if v < lo {
+        lo
+    } else if v > hi {
+        hi
+    } else {
+        v
+    }
+}
+
+/// Saturating addition at `bits` bits: both operands are assumed to be
+/// in range already; the sum is clamped.
+pub const fn add(a: i64, b: i64, bits: u32) -> i64 {
+    clamp(a + b, bits)
+}
+
+/// Number of bits for the `A_R` register given the affinity width and
+/// the R-window size (§3.2: `bits[A_R] = bits[O_e] + log2(|R|)`).
+///
+/// ```
+/// use execmig_core::sat::ar_bits;
+/// assert_eq!(ar_bits(16, 128), 23);
+/// assert_eq!(ar_bits(16, 100), 23); // log2 rounded up
+/// ```
+pub fn ar_bits(affinity_bits: u32, r_window: usize) -> u32 {
+    let log2 = usize::BITS - r_window.next_power_of_two().leading_zeros() - 1;
+    affinity_bits + log2
+}
+
+/// Number of bits for `∆` (§3.2: `bits[∆] = bits[O_e] + 1`).
+pub const fn delta_bits(affinity_bits: u32) -> u32 {
+    affinity_bits + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_endpoints() {
+        assert_eq!(range(1), (-1, 0));
+        assert_eq!(range(17), (-65536, 65535));
+        assert_eq!(range(62), (-(1 << 61), (1 << 61) - 1));
+    }
+
+    #[test]
+    fn clamp_identity_in_range() {
+        for v in [-32768i64, -1, 0, 1, 32767] {
+            assert_eq!(clamp(v, 16), v);
+        }
+    }
+
+    #[test]
+    fn add_saturates_both_directions() {
+        assert_eq!(add(32767, 1, 16), 32767);
+        assert_eq!(add(-32768, -1, 16), -32768);
+        assert_eq!(add(-32768, 1, 16), -32767);
+        assert_eq!(add(100, 23, 16), 123);
+    }
+
+    #[test]
+    fn ar_bits_paper_dimensions() {
+        // |R| = 128 -> 16 + 7 = 23; |R| = 64 -> 16 + 6 = 22.
+        assert_eq!(ar_bits(16, 128), 23);
+        assert_eq!(ar_bits(16, 64), 22);
+        assert_eq!(ar_bits(16, 1), 16);
+    }
+
+    #[test]
+    fn delta_bits_is_one_more() {
+        assert_eq!(delta_bits(16), 17);
+    }
+}

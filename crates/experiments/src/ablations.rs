@@ -1,0 +1,415 @@
+//! Ablation studies backing the paper's parameter claims.
+
+/// §3.3: splittability of `Circular(N)` vs the R-window size, and of
+/// `HalfRandom(m)` vs `|R|`.
+pub mod rwindow {
+    use execmig_core::{Splitter2, SplitterConfig};
+    use execmig_trace::gen::{CircularWorkload, HalfRandomWorkload};
+    use execmig_trace::Workload;
+    use serde::Serialize;
+
+    /// Result of one (stream, |R|) cell.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct RWindowPoint {
+        /// Stream description.
+        pub stream: String,
+        /// Working-set size `N`.
+        pub n: u64,
+        /// `|R|`.
+        pub r_window: usize,
+        /// Steady-state positive fraction of the working set.
+        pub positive_fraction: f64,
+        /// Steady-state transition rate.
+        pub transition_rate: f64,
+        /// Whether a *usable* split emerged: balanced signs, the stream
+        /// actually alternates between subsets, and transitions stay
+        /// rare (a 50 % flip rate is a random assignment, not a split).
+        pub split: bool,
+    }
+
+    fn measure(
+        stream: String,
+        n: u64,
+        r_window: usize,
+        w: &mut dyn Workload,
+        refs: u64,
+    ) -> RWindowPoint {
+        let mut s = Splitter2::new(SplitterConfig {
+            r_window,
+            filter_bits: None,
+            ..SplitterConfig::default()
+        });
+        for _ in 0..refs {
+            s.on_reference(w.next_access().addr.raw() / 64);
+        }
+        // Steady-state window.
+        let before = s.stats().transitions;
+        let window = refs / 4;
+        for _ in 0..window {
+            s.on_reference(w.next_access().addr.raw() / 64);
+        }
+        let rate = (s.stats().transitions - before) as f64 / window as f64;
+        let frac = s.positive_fraction(0..n);
+        RWindowPoint {
+            stream,
+            n,
+            r_window,
+            positive_fraction: frac,
+            transition_rate: rate,
+            split: (0.25..=0.75).contains(&frac) && rate > 1e-5 && rate < 0.05,
+        }
+    }
+
+    /// Sweeps `Circular(N)` for several `N` at fixed `|R|`: the paper's
+    /// claim is a split iff `N > 2|R|`.
+    pub fn circular_sweep(r_window: usize, ns: &[u64], refs: u64) -> Vec<RWindowPoint> {
+        ns.iter()
+            .map(|&n| {
+                let mut w = CircularWorkload::new(n);
+                measure(format!("circular({n})"), n, r_window, &mut w, refs)
+            })
+            .collect()
+    }
+
+    /// Sweeps `|R|` on `HalfRandom(m)`: the paper's claim is that `|R|`
+    /// should not be much larger than `m`.
+    pub fn half_random_sweep(
+        n: u64,
+        m: u64,
+        r_windows: &[usize],
+        refs: u64,
+    ) -> Vec<RWindowPoint> {
+        r_windows
+            .iter()
+            .map(|&r| {
+                let mut w = HalfRandomWorkload::new(n, m, 0xfeed);
+                measure(format!("half_random({m})"), n, r, &mut w, refs)
+            })
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn circular_splits_iff_n_above_two_r() {
+            let points = circular_sweep(100, &[150, 180, 450, 4000], 600_000);
+            assert!(!points[0].split, "N=150 <= 2|R| split: {points:?}");
+            assert!(!points[1].split, "N=180 <= 2|R| split: {points:?}");
+            assert!(points[2].split, "N=450 no split: {points:?}");
+            assert!(points[3].split, "N=4000 no split: {points:?}");
+        }
+
+        #[test]
+        fn half_random_needs_r_close_to_m() {
+            let points = half_random_sweep(4000, 300, &[100, 2000], 1_500_000);
+            // |R| = 100 ≤ m: splits cleanly with ~1/300 transitions.
+            assert!(points[0].split, "{points:?}");
+            assert!(points[0].transition_rate < 0.02, "{points:?}");
+            // |R| = 2000 >> m: the positive feedback is lost in noise —
+            // either no balanced split or a far noisier one.
+            let degraded = !points[1].split
+                || points[1].transition_rate > 4.0 * points[0].transition_rate;
+            assert!(degraded, "{points:?}");
+        }
+    }
+}
+
+/// §3.4: on an unsplittable (uniform random) working set with saturated
+/// affinities, the transition frequency halves per added filter bit
+/// (`≈ 1/2^(1+F−A)`).
+pub mod filter {
+    use execmig_core::{Splitter2, SplitterConfig};
+    use execmig_trace::Rng;
+    use serde::Serialize;
+
+    /// Result of one filter-width cell.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct FilterPoint {
+        /// Filter width in bits.
+        pub filter_bits: u32,
+        /// Measured transition rate.
+        pub measured: f64,
+        /// The paper's estimate `1/2^(1+F−A)`.
+        pub predicted: f64,
+    }
+
+    /// Sweeps filter widths on a uniform random stream over `n` lines.
+    pub fn sweep(
+        affinity_bits: u32,
+        filter_bits: &[u32],
+        n: u64,
+        refs: u64,
+    ) -> Vec<FilterPoint> {
+        filter_bits
+            .iter()
+            .map(|&bits| {
+                let mut s = Splitter2::new(SplitterConfig {
+                    affinity_bits,
+                    r_window: 100,
+                    filter_bits: Some(bits),
+                    ..SplitterConfig::default()
+                });
+                let mut rng = Rng::seed_from(0xab1a + bits as u64);
+                // Warm up so affinities saturate, then measure.
+                for _ in 0..refs {
+                    s.on_reference(rng.below(n));
+                }
+                let before = s.stats().transitions;
+                for _ in 0..refs {
+                    s.on_reference(rng.below(n));
+                }
+                let measured = (s.stats().transitions - before) as f64 / refs as f64;
+                FilterPoint {
+                    filter_bits: bits,
+                    measured,
+                    predicted: 1.0
+                        / 2f64.powi(1 + bits as i32 - affinity_bits as i32),
+                }
+            })
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn each_extra_bit_halves_transitions() {
+            let points = sweep(16, &[17, 18, 19, 20], 4000, 1_500_000);
+            for w in points.windows(2) {
+                let halving = w[1].measured / w[0].measured;
+                assert!(
+                    (0.25..=1.0).contains(&halving),
+                    "bit {} -> {}: rate went {} -> {}",
+                    w[0].filter_bits,
+                    w[1].filter_bits,
+                    w[0].measured,
+                    w[1].measured
+                );
+            }
+            // Order of magnitude agreement with the paper's arithmetic.
+            for p in &points {
+                assert!(
+                    p.measured < p.predicted * 4.0 + 0.01,
+                    "bits {}: measured {} vs predicted {}",
+                    p.filter_bits,
+                    p.measured,
+                    p.predicted
+                );
+            }
+        }
+    }
+}
+
+/// §3.5: working-set sampling shrinks the affinity cache and reduces
+/// migration frequency.
+pub mod sampling {
+    use execmig_core::{ControllerConfig, MigrationController, Sampler, TableConfig};
+    use execmig_trace::{suite, LineSize, Workload};
+    use serde::Serialize;
+
+    /// Result of one sampling configuration on one benchmark.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct SamplingPoint {
+        /// Benchmark.
+        pub name: String,
+        /// Sampling threshold (`H(e) < threshold` is sampled).
+        pub threshold: u64,
+        /// Affinity-cache entries.
+        pub table_entries: u64,
+        /// Migrations per million instructions.
+        pub migrations_per_minstr: f64,
+        /// Affinity-cache miss rate.
+        pub table_miss_rate: f64,
+    }
+
+    /// Sweeps sampling thresholds (with the affinity cache scaled
+    /// proportionally, as §3.5 intends) feeding the controller the
+    /// benchmark's L1-miss request stream.
+    pub fn sweep(name: &str, thresholds: &[u64], instructions: u64) -> Vec<SamplingPoint> {
+        thresholds
+            .iter()
+            .map(|&threshold| {
+                // 32k entries at full sampling, scaled down by the
+                // sampled fraction (8k at the paper's 8/31).
+                let entries = (32768 * threshold / 31).next_power_of_two().max(1024);
+                let mut mc = MigrationController::new(ControllerConfig {
+                    sampler: Sampler::new(threshold),
+                    table: TableConfig::Skewed { entries, ways: 4 },
+                    ..ControllerConfig::paper_4core()
+                });
+                let mut w = suite::by_name(name).expect("suite benchmark");
+                let mut filter =
+                    crate::l1filter::L1Filter::paper(LineSize::DEFAULT);
+                while w.instructions() < instructions {
+                    let access = w.next_access();
+                    if let Some(line) = filter.filter(access) {
+                        // No machine here: approximate L2 filtering by
+                        // updating on every request (the relative
+                        // effect of sampling is what this ablation
+                        // isolates).
+                        mc.on_request(line.raw(), true);
+                    }
+                }
+                SamplingPoint {
+                    name: name.to_string(),
+                    threshold,
+                    table_entries: entries,
+                    migrations_per_minstr: mc.stats().migrations as f64 * 1e6
+                        / w.instructions() as f64,
+                    table_miss_rate: mc.table_stats().miss_rate(),
+                }
+            })
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn sampling_reduces_migration_frequency() {
+            // §3.5: "working-set sampling decreases the frequency of
+            // migrations".
+            let points = sweep("art", &[31, 8], 3_000_000);
+            assert!(
+                points[1].migrations_per_minstr <= points[0].migrations_per_minstr,
+                "{points:?}"
+            );
+        }
+    }
+}
+
+/// §4.1 closing note: "splittability is less pronounced with larger
+/// lines" — merging nodes can only increase the minimum cut.
+pub mod linesize {
+    use crate::fig45::{run_workload, Fig45Config, Fig45Row};
+    use execmig_trace::suite;
+    use serde::Serialize;
+
+    /// Splittability at one line size.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct LineSizePoint {
+        /// Benchmark.
+        pub name: String,
+        /// Line size in bytes.
+        pub line_bytes: u64,
+        /// Mean `p1 − p4` gap over the plotted sizes.
+        pub split_gain: f64,
+        /// Transition rate.
+        pub transition_rate: f64,
+    }
+
+    impl From<(u64, Fig45Row)> for LineSizePoint {
+        fn from((line_bytes, row): (u64, Fig45Row)) -> Self {
+            LineSizePoint {
+                name: row.name,
+                line_bytes,
+                split_gain: row.split_gain,
+                transition_rate: row.transition_rate,
+            }
+        }
+    }
+
+    /// Runs one benchmark at several line sizes.
+    pub fn sweep(name: &str, line_sizes: &[u64], instructions: u64) -> Vec<LineSizePoint> {
+        line_sizes
+            .iter()
+            .map(|&line_bytes| {
+                let config = Fig45Config {
+                    line_bytes,
+                    ..Fig45Config::paper(instructions)
+                };
+                let mut w = suite::by_name(name).expect("suite benchmark");
+                (line_bytes, run_workload(name, &mut *w, &config)).into()
+            })
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn larger_lines_reduce_splittability() {
+            let points = sweep("art", &[64, 512], 3_000_000);
+            assert!(
+                points[1].split_gain <= points[0].split_gain + 0.02,
+                "{points:?}"
+            );
+        }
+    }
+}
+
+/// The Figure 2 register versus the Definition 1 sign (see
+/// `SignMode`): both split, but the literal register transitions an
+/// order of magnitude more often.
+pub mod signmode {
+    use execmig_core::{SignMode, Splitter2, SplitterConfig};
+    use serde::Serialize;
+
+    /// Result of one sign-mode run on `Circular(n)`.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct SignModePoint {
+        /// Mode label.
+        pub mode: String,
+        /// Steady-state transition rate.
+        pub transition_rate: f64,
+        /// Positive fraction (balance).
+        pub positive_fraction: f64,
+    }
+
+    /// Compares the two sign modes on `Circular(n)`.
+    pub fn compare(n: u64, r_window: usize, refs: u64) -> Vec<SignModePoint> {
+        [SignMode::TrueSum, SignMode::RegisterOnly]
+            .iter()
+            .map(|&mode| {
+                let mut s = Splitter2::new(SplitterConfig {
+                    r_window,
+                    filter_bits: None,
+                    sign_mode: mode,
+                    ..SplitterConfig::default()
+                });
+                for t in 0..refs {
+                    s.on_reference(t % n);
+                }
+                let before = s.stats().transitions;
+                let window = refs / 4;
+                for t in 0..window {
+                    s.on_reference(t % n);
+                }
+                SignModePoint {
+                    mode: format!("{mode:?}"),
+                    transition_rate: (s.stats().transitions - before) as f64
+                        / window as f64,
+                    positive_fraction: s.positive_fraction(0..n),
+                }
+            })
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn true_sum_transitions_much_less() {
+            let points = compare(4000, 100, 1_000_000);
+            let true_sum = &points[0];
+            let register = &points[1];
+            assert!(
+                true_sum.transition_rate * 5.0 < register.transition_rate,
+                "{points:?}"
+            );
+            // Both achieve a balanced split.
+            for p in &points {
+                assert!(
+                    (0.3..=0.7).contains(&p.positive_fraction),
+                    "{points:?}"
+                );
+            }
+        }
+    }
+}

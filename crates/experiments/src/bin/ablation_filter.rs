@@ -1,0 +1,32 @@
+//! §3.4 ablation: transition-filter width on an unsplittable (uniform
+//! random) working set. The paper's arithmetic: with `A`-bit affinities
+//! and an `F`-bit filter, the residual transition frequency is about
+//! `1/2^(1+F−A)` once affinities saturate.
+//!
+//! Usage: `ablation_filter [--refs N] [--json]`
+
+use execmig_experiments::ablations::filter;
+use execmig_experiments::report::{arg_flag, arg_u64, fmt_frac};
+use execmig_experiments::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs = arg_u64(&args, "--refs", 2_000_000);
+
+    let points = filter::sweep(16, &[17, 18, 19, 20, 21, 22], 4000, refs);
+    if arg_flag(&args, "--json") {
+        println!("{}", serde_json::to_string_pretty(&points).expect("serialise"));
+        return;
+    }
+    println!("== §3.4 — filter width vs transition rate on uniform random, 16-bit affinities ==");
+    let mut t = TextTable::new(&["filter bits", "measured", "paper 1/2^(1+F-A)"]);
+    for p in &points {
+        t.row(&[
+            p.filter_bits.to_string(),
+            fmt_frac(p.measured),
+            fmt_frac(p.predicted),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(each added bit should roughly halve the measured rate)");
+}

@@ -1,0 +1,53 @@
+//! §3.3 ablation: when does the affinity algorithm split?
+//!
+//! - `Circular(N)` with `|R|` = 100 splits iff `N > 2|R|`;
+//! - `HalfRandom(m)` requires `|R|` not much larger than `m`.
+//!
+//! Usage: `ablation_rwindow [--refs N] [--json]`
+
+use execmig_experiments::ablations::rwindow;
+use execmig_experiments::report::{arg_flag, arg_u64, fmt_frac};
+use execmig_experiments::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs = arg_u64(&args, "--refs", 1_000_000);
+
+    let circular = rwindow::circular_sweep(100, &[120, 150, 180, 220, 450, 1000, 4000], refs);
+    let half = rwindow::half_random_sweep(4000, 300, &[25, 50, 100, 300, 600, 2000], refs);
+
+    if arg_flag(&args, "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&(&circular, &half)).expect("serialise")
+        );
+        return;
+    }
+
+    println!("== §3.3 — Circular(N), |R| = 100: split iff N > 2|R| ==");
+    let mut t = TextTable::new(&["stream", "N", "2|R|", "pos.frac", "trans/ref", "split"]);
+    for p in &circular {
+        t.row(&[
+            p.stream.clone(),
+            p.n.to_string(),
+            (2 * p.r_window).to_string(),
+            format!("{:.3}", p.positive_fraction),
+            fmt_frac(p.transition_rate),
+            if p.split { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("== §3.3 — HalfRandom(300), N = 4000: |R| should not exceed m ==");
+    let mut t = TextTable::new(&["stream", "|R|", "pos.frac", "trans/ref", "split"]);
+    for p in &half {
+        t.row(&[
+            p.stream.clone(),
+            p.r_window.to_string(),
+            format!("{:.3}", p.positive_fraction),
+            fmt_frac(p.transition_rate),
+            if p.split { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,47 @@
+//! §3.5 ablation: working-set sampling ratio vs affinity-cache size vs
+//! migration frequency.
+//!
+//! Usage: `ablation_sampling [--instr N] [--bench NAME[,NAME…]] [--json]`
+
+use execmig_experiments::ablations::sampling;
+use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
+use execmig_experiments::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let instructions = arg_u64(&args, "--instr", 20_000_000);
+    let benches: Vec<String> = arg_value(&args, "--bench")
+        .map(|v| v.split(',').map(|s| s.to_string()).collect())
+        .unwrap_or_else(|| vec!["art".to_string(), "mcf".to_string(), "gzip".to_string()]);
+
+    let thresholds = [31u64, 16, 8, 4];
+    let mut all = Vec::new();
+    for b in &benches {
+        all.extend(sampling::sweep(b, &thresholds, instructions));
+    }
+    if arg_flag(&args, "--json") {
+        println!("{}", serde_json::to_string_pretty(&all).expect("serialise"));
+        return;
+    }
+    println!("== §3.5 — sampling ratio (H(e) < T of 31) vs migrations ==");
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "threshold",
+        "sampled",
+        "table entries",
+        "migr/Minstr",
+        "table miss rate",
+    ]);
+    for p in &all {
+        t.row(&[
+            p.name.clone(),
+            format!("{}", p.threshold),
+            format!("{:.0}%", p.threshold as f64 * 100.0 / 31.0),
+            p.table_entries.to_string(),
+            format!("{:.1}", p.migrations_per_minstr),
+            format!("{:.3}", p.table_miss_rate),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(paper §4.2 uses threshold 8 = 25% sampling with an 8k-entry cache)");
+}

@@ -1,0 +1,33 @@
+//! Fidelity ablation: the literal Figure 2 `A_R` register versus the
+//! Definition 1 sign (`A_R + |R|·∆`). Both split a circular working
+//! set, but the literal register transitions an order of magnitude more
+//! often; the Definition-1 sign reproduces the paper's reported rates
+//! (1/2000 on Circular(4000) with |R| = 100) — see DESIGN.md §6.
+//!
+//! Usage: `ablation_signmode [--refs N] [--json]`
+
+use execmig_experiments::ablations::signmode;
+use execmig_experiments::report::{arg_flag, arg_u64, fmt_frac};
+use execmig_experiments::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs = arg_u64(&args, "--refs", 1_000_000);
+
+    println!("== Sign-mode ablation on Circular(4000), |R| = 100 ==");
+    let points = signmode::compare(4000, 100, refs);
+    if arg_flag(&args, "--json") {
+        println!("{}", serde_json::to_string_pretty(&points).expect("serialise"));
+        return;
+    }
+    let mut t = TextTable::new(&["sign mode", "trans/ref", "positive fraction"]);
+    for p in &points {
+        t.row(&[
+            p.mode.clone(),
+            fmt_frac(p.transition_rate),
+            format!("{:.3}", p.positive_fraction),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(the paper reports one transition every 2000 references = 0.0005)");
+}

@@ -1,0 +1,35 @@
+//! §6 extension: transition-filter updates restricted to pointer-load
+//! requests.
+//!
+//! Usage: `ext_pointer_filter [--instr N] [--bench NAME[,NAME…]] [--json]`
+
+use execmig_experiments::ext_pointer;
+use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let instructions = arg_u64(&args, "--instr", 30_000_000);
+    let benches: Vec<String> = arg_value(&args, "--bench")
+        .map(|v| v.split(',').map(|s| s.to_string()).collect())
+        .unwrap_or_else(|| {
+            vec![
+                "mcf".to_string(),
+                "em3d".to_string(),
+                "health".to_string(),
+                "art".to_string(),
+                "gzip".to_string(),
+            ]
+        });
+
+    let rows: Vec<_> = benches
+        .iter()
+        .map(|b| ext_pointer::run_benchmark(b, instructions))
+        .collect();
+    if arg_flag(&args, "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        return;
+    }
+    println!("== §6 — pointer-load filtering of the transition filter ==");
+    println!("{}", ext_pointer::render(&rows));
+    println!("(linked-data benchmarks keep their benefit; array/random code stops migrating)");
+}

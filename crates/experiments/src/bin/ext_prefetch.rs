@@ -1,0 +1,36 @@
+//! §6 extension: prefetching × execution migration (2×2 grid).
+//!
+//! Usage: `ext_prefetch [--instr N] [--degree N] [--bench NAME[,NAME…]]
+//!                       [--json]`
+
+use execmig_experiments::ext_prefetch;
+use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let instructions = arg_u64(&args, "--instr", 30_000_000);
+    let degree = arg_u64(&args, "--degree", 4) as u32;
+    let benches: Vec<String> = arg_value(&args, "--bench")
+        .map(|v| v.split(',').map(|s| s.to_string()).collect())
+        .unwrap_or_else(|| {
+            vec![
+                "art".to_string(),
+                "swim".to_string(),
+                "em3d".to_string(),
+                "mcf".to_string(),
+                "health".to_string(),
+            ]
+        });
+
+    let rows: Vec<_> = benches
+        .iter()
+        .map(|b| ext_prefetch::run_benchmark(b, degree, instructions))
+        .collect();
+    if arg_flag(&args, "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        return;
+    }
+    println!("== §6 — sequential prefetch (degree {degree}) x migration ==");
+    println!("{}", ext_prefetch::render(&rows));
+    println!("(prefetch recovers array sweeps; migration keeps its edge on pointer chasing)");
+}

@@ -1,0 +1,68 @@
+//! Regenerates Figure 3: affinity snapshots on Circular and
+//! HalfRandom(300), N = 4000, |R| = 100, at t = 20k/100k/1000k.
+//!
+//! Usage: `fig3 [--buckets N] [--csv] [--json]`
+
+use execmig_experiments::fig3::{bucket_means, run, Fig3Config};
+use execmig_experiments::report::{arg_flag, arg_u64};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let buckets = arg_u64(&args, "--buckets", 40) as usize;
+    let csv = arg_flag(&args, "--csv");
+    let json = arg_flag(&args, "--json");
+
+    for config in [Fig3Config::circular(), Fig3Config::half_random()] {
+        let label = match config.stream {
+            execmig_experiments::fig3::Fig3Stream::Circular => "Circular".to_string(),
+            execmig_experiments::fig3::Fig3Stream::HalfRandom { m } => {
+                format!("HalfRandom({m})")
+            }
+        };
+        let result = run(config);
+        if json {
+            println!("{}", serde_json::to_string(&result).expect("serialise"));
+            continue;
+        }
+        println!("== Figure 3 — {label}, N=4000, |R|=100 ==");
+        for snap in &result.snapshots {
+            println!(
+                "t={:<8} positive fraction {:.3}, transitions/ref {:.5} (paper: optimal 1/2000 circular, 1/300 half-random)",
+                snap.t, snap.positive_fraction, snap.transition_rate
+            );
+            if csv {
+                for (e, a) in snap.affinities.iter().enumerate() {
+                    if let Some(a) = a {
+                        println!("{label},{},{},{}", snap.t, e, a);
+                    }
+                }
+            } else {
+                // Terminal rendition: mean affinity per element bucket.
+                let means = bucket_means(snap, buckets);
+                let max = means
+                    .iter()
+                    .map(|m| m.abs())
+                    .fold(1.0f64, f64::max);
+                let bar: String = means
+                    .iter()
+                    .map(|&m| {
+                        let v = m / max;
+                        if v > 0.66 {
+                            '#'
+                        } else if v > 0.15 {
+                            '+'
+                        } else if v >= -0.15 {
+                            '.'
+                        } else if v >= -0.66 {
+                            '-'
+                        } else {
+                            '='
+                        }
+                    })
+                    .collect();
+                println!("  affinity sign by element bucket: [{bar}]");
+            }
+        }
+        println!();
+    }
+}

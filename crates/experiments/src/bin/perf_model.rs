@@ -1,0 +1,39 @@
+//! §2.3/§2.4/§4.2 performance analysis: update-bus bandwidth, migration
+//! penalty, break-even `P_mig`, and speed-ups at sample `P_mig` values.
+//!
+//! Usage: `perf_model [--instr N] [--threads N] [--json]`
+
+use execmig_experiments::perf_model::{penalty_summary, render, run_all};
+use execmig_experiments::report::{arg_flag, arg_u64};
+use execmig_experiments::runner::default_threads;
+use execmig_machine::PipelineConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let instructions = arg_u64(&args, "--instr", 50_000_000);
+    let threads = arg_u64(&args, "--threads", default_threads(18) as u64) as usize;
+
+    let rows = run_all(instructions, threads);
+    let penalty = penalty_summary(PipelineConfig::default(), 10_000);
+    if arg_flag(&args, "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&(&rows, &penalty)).expect("serialise")
+        );
+        return;
+    }
+    println!("== §2.2/§2.4 — migration protocol penalty ==");
+    println!(
+        "analytic: {} cycles (drain + broadcast + issue-to-retire stages); simulated mean: {:.1} cycles",
+        penalty.analytic_cycles, penalty.mean_cycles
+    );
+    println!(
+        "§2.3 update-bus estimate at 4-wide retire: {:.0} bytes/cycle (paper: ~45)",
+        penalty.paper_bus_estimate
+    );
+    println!();
+    println!("== §4.2 — break-even P_mig per benchmark ==");
+    println!("(P_mig below break-even ⇒ migration wins; paper derives ≈60 for mcf)");
+    println!();
+    println!("{}", render(&rows));
+}

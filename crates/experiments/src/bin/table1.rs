@@ -1,0 +1,49 @@
+//! Regenerates Table 1: the benchmark suite with instruction counts and
+//! 16 KB fully-associative L1 miss counts.
+//!
+//! Usage: `table1 [--instr N] [--threads N] [--csv] [--json]`
+
+use execmig_experiments::report::{arg_flag, arg_u64};
+use execmig_experiments::runner::default_threads;
+use execmig_experiments::table1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let instructions = arg_u64(&args, "--instr", 50_000_000);
+    let threads = arg_u64(&args, "--threads", default_threads(18) as u64) as usize;
+
+    let rows = table1::run_all(instructions, threads);
+    if arg_flag(&args, "--json") {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        return;
+    }
+    println!(
+        "== Table 1 — benchmarks, {} M instructions, 16 KB fully-associative LRU L1s, 64 B lines ==",
+        instructions / 1_000_000
+    );
+    let rendered = table1::render(&rows);
+    if arg_flag(&args, "--csv") {
+        // Re-render as CSV by rebuilding the table.
+        let mut t = execmig_experiments::TextTable::new(&[
+            "benchmark",
+            "instructions",
+            "il1_misses",
+            "dl1_misses",
+            "il1_per_kinstr",
+            "dl1_per_kinstr",
+        ]);
+        for r in &rows {
+            t.row(&[
+                r.name.clone(),
+                r.instructions.to_string(),
+                r.il1_misses.to_string(),
+                r.dl1_misses.to_string(),
+                format!("{:.3}", r.il1_per_kinstr),
+                format!("{:.3}", r.dl1_per_kinstr),
+            ]);
+        }
+        println!("{}", t.to_csv());
+    } else {
+        println!("{rendered}");
+    }
+}

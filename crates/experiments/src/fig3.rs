@@ -1,0 +1,245 @@
+//! Figure 3: affinity snapshots of the raw algorithm on `Circular` and
+//! `HalfRandom(300)`.
+//!
+//! "Figure 3 shows the affinity `A_e` for each `e ∈ [0..3999]` on
+//! Circular (upper graphs) and HalfRandom(300) (lower graphs) with
+//! `|R| = 100`, after 20k, 100k, and 1000k references. … At t=100k on
+//! this example, the splitting is optimal, with only one transition
+//! every 2000 references for Circular, and one transition every 300
+//! references for HalfRandom(300)."
+
+use execmig_core::{Side, Splitter2, SplitterConfig};
+use execmig_trace::gen::{CircularWorkload, HalfRandomWorkload};
+use execmig_trace::Workload;
+use serde::Serialize;
+
+/// Which §3.3 stream to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Fig3Stream {
+    /// `Circular`: 0, 1, …, N−1, repeated.
+    Circular,
+    /// `HalfRandom(m)`.
+    HalfRandom {
+        /// Burst length `m`.
+        m: u64,
+    },
+}
+
+/// Configuration of the Figure 3 experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Config {
+    /// Working-set size `N` (paper: 4000).
+    pub n: u64,
+    /// `|R|` (paper: 100).
+    pub r_window: usize,
+    /// Snapshot times in references (paper: 20k, 100k, 1000k).
+    pub snapshots: Vec<u64>,
+    /// The stream.
+    pub stream: Fig3Stream,
+}
+
+impl Fig3Config {
+    /// The paper's upper-row configuration.
+    pub fn circular() -> Self {
+        Fig3Config {
+            n: 4000,
+            r_window: 100,
+            snapshots: vec![20_000, 100_000, 1_000_000],
+            stream: Fig3Stream::Circular,
+        }
+    }
+
+    /// The paper's lower-row configuration.
+    pub fn half_random() -> Self {
+        Fig3Config {
+            stream: Fig3Stream::HalfRandom { m: 300 },
+            ..Fig3Config::circular()
+        }
+    }
+}
+
+/// One snapshot of the affinity landscape.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Snapshot {
+    /// References processed when the snapshot was taken.
+    pub t: u64,
+    /// `A_e` per element (index = element id; `None` = never seen).
+    pub affinities: Vec<Option<i64>>,
+    /// Fraction of seen elements with non-negative affinity.
+    pub positive_fraction: f64,
+    /// Steady-state transition rate measured over the window ending at
+    /// this snapshot.
+    pub transition_rate: f64,
+}
+
+/// The full Figure 3 result for one stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Result {
+    /// The configuration that produced it.
+    pub config: Fig3Config,
+    /// One snapshot per requested time.
+    pub snapshots: Vec<Fig3Snapshot>,
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if `snapshots` is empty or not strictly increasing.
+pub fn run(config: Fig3Config) -> Fig3Result {
+    assert!(!config.snapshots.is_empty(), "need at least one snapshot");
+    assert!(
+        config.snapshots.windows(2).all(|w| w[0] < w[1]),
+        "snapshot times must increase"
+    );
+    let mut workload: Box<dyn Workload> = match config.stream {
+        Fig3Stream::Circular => Box::new(CircularWorkload::new(config.n)),
+        Fig3Stream::HalfRandom { m } => {
+            Box::new(HalfRandomWorkload::new(config.n, m, 0x5eed))
+        }
+    };
+    // Raw algorithm: no transition filter (§3.2/§3.3), subsets by
+    // affinity sign.
+    let mut splitter = Splitter2::new(SplitterConfig {
+        r_window: config.r_window,
+        filter_bits: None,
+        ..SplitterConfig::default()
+    });
+    let mut snapshots = Vec::new();
+    let mut t = 0u64;
+    let mut window_start_transitions = 0u64;
+    let mut window_start_t = 0u64;
+    for &at in &config.snapshots {
+        while t < at {
+            let e = workload.next_access().addr.raw() / 64;
+            splitter.on_reference(e);
+            t += 1;
+        }
+        let affinities: Vec<Option<i64>> =
+            (0..config.n).map(|e| splitter.affinity_of(e)).collect();
+        let seen: Vec<i64> = affinities.iter().flatten().copied().collect();
+        let positive =
+            seen.iter().filter(|&&a| Side::of(a) == Side::Plus).count() as f64;
+        let transitions = splitter.stats().transitions;
+        let window_refs = (t - window_start_t).max(1);
+        snapshots.push(Fig3Snapshot {
+            t,
+            positive_fraction: if seen.is_empty() {
+                0.0
+            } else {
+                positive / seen.len() as f64
+            },
+            transition_rate: (transitions - window_start_transitions) as f64
+                / window_refs as f64,
+            affinities,
+        });
+        window_start_transitions = transitions;
+        window_start_t = t;
+    }
+    Fig3Result {
+        config,
+        snapshots,
+    }
+}
+
+/// Down-samples a snapshot into `buckets` mean-affinity buckets for
+/// plotting in a terminal (`None`-affinity elements are skipped).
+pub fn bucket_means(snapshot: &Fig3Snapshot, buckets: usize) -> Vec<f64> {
+    assert!(buckets > 0);
+    let n = snapshot.affinities.len();
+    let per = n.div_ceil(buckets);
+    snapshot
+        .affinities
+        .chunks(per)
+        .map(|chunk| {
+            let vals: Vec<i64> = chunk.iter().flatten().copied().collect();
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<i64>() as f64 / vals.len() as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circular_reaches_balanced_split() {
+        let result = run(Fig3Config::circular());
+        let last = result.snapshots.last().unwrap();
+        assert!(
+            (0.35..=0.65).contains(&last.positive_fraction),
+            "fraction {}",
+            last.positive_fraction
+        );
+        // Paper: optimal splitting ~ one transition every 2000 refs.
+        assert!(
+            last.transition_rate <= 1.0 / 500.0,
+            "late transition rate {}",
+            last.transition_rate
+        );
+    }
+
+    #[test]
+    fn half_random_splits_by_halves() {
+        let result = run(Fig3Config::half_random());
+        let last = result.snapshots.last().unwrap();
+        // Elements of each half should be sign-coherent: the lower half
+        // takes one sign, the upper half the other.
+        let n = result.config.n as usize;
+        let frac_of = |range: std::ops::Range<usize>| {
+            let vals: Vec<i64> = last.affinities[range]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            vals.iter().filter(|&&a| a >= 0).count() as f64 / vals.len() as f64
+        };
+        let lower = frac_of(0..n / 2);
+        let upper = frac_of(n / 2..n);
+        assert!(
+            (lower - upper).abs() > 0.8,
+            "halves not separated: lower {lower}, upper {upper}"
+        );
+        // Transitions about once per burst (1/300), well under 1/100.
+        assert!(
+            last.transition_rate < 1.0 / 100.0,
+            "rate {}",
+            last.transition_rate
+        );
+    }
+
+    #[test]
+    fn snapshots_are_cumulative() {
+        let cfg = Fig3Config {
+            snapshots: vec![1000, 2000],
+            ..Fig3Config::circular()
+        };
+        let result = run(cfg);
+        assert_eq!(result.snapshots[0].t, 1000);
+        assert_eq!(result.snapshots[1].t, 2000);
+    }
+
+    #[test]
+    fn bucket_means_shape() {
+        let result = run(Fig3Config {
+            snapshots: vec![50_000],
+            ..Fig3Config::circular()
+        });
+        let means = bucket_means(&result.snapshots[0], 40);
+        assert_eq!(means.len(), 40);
+        assert!(means.iter().any(|&m| m != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must increase")]
+    fn rejects_unordered_snapshots() {
+        run(Fig3Config {
+            snapshots: vec![100, 100],
+            ..Fig3Config::circular()
+        });
+    }
+}

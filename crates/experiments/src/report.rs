@@ -1,0 +1,242 @@
+//! Plain-text table rendering and number formatting for experiment
+//! output, in the style of the paper's tables.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table.
+///
+/// ```
+/// use execmig_experiments::TextTable;
+/// let mut t = TextTable::new(&["bench", "ratio"]);
+/// t.row(&["art", "0.03"]);
+/// let s = t.render();
+/// assert!(s.contains("bench"));
+/// assert!(s.contains("art"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header"
+        );
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                } else {
+                    let _ = write!(out, "  {:>width$}", cell, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (for plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats instructions-per-event the way Table 2 does: small values as
+/// plain integers, large ones in scientific style (`2.2e6`), absent
+/// events as `-`.
+pub fn fmt_ipe(v: f64) -> String {
+    if !v.is_finite() {
+        "-".to_string()
+    } else if v < 100_000.0 {
+        format!("{}", v.round() as u64)
+    } else {
+        format!("{:.1e}", v)
+    }
+}
+
+/// Formats a ratio with two decimals (`-` for non-finite).
+pub fn fmt_ratio(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Formats a probability/fraction with four decimals.
+pub fn fmt_frac(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a byte count as KB/MB with the paper's base-2 units.
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        let mb = bytes as f64 / (1 << 20) as f64;
+        if (mb - mb.round()).abs() < 1e-9 {
+            format!("{}M", mb.round() as u64)
+        } else {
+            format!("{mb:.1}M")
+        }
+    } else {
+        format!("{}k", bytes >> 10)
+    }
+}
+
+/// Parses simple `--flag value` command-line options; returns the value
+/// for `flag` if present.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses a `--flag N` numeric option with a default.
+pub fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    arg_value(args, flag)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} expects a number, got {v:?}"))
+        })
+        .unwrap_or(default)
+}
+
+/// True if `--flag` appears.
+pub fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "bbbb"]);
+        t.row(&["xxxxx", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_bad_row() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(&["1", "2"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(&["a,b", "c"]);
+        t.row(&["x", "y\"z"]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c\n"));
+        assert!(csv.contains("\"y\"\"z\""));
+    }
+
+    #[test]
+    fn ipe_formatting() {
+        assert_eq!(fmt_ipe(64.4), "64");
+        assert_eq!(fmt_ipe(90424.0), "90424");
+        assert_eq!(fmt_ipe(2_200_000.0), "2.2e6");
+        assert_eq!(fmt_ipe(f64::INFINITY), "-");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(16 << 10), "16k");
+        assert_eq!(fmt_bytes(512 << 10), "512k");
+        assert_eq!(fmt_bytes(2 << 20), "2M");
+        assert_eq!(fmt_bytes(1 << 20 | 1 << 19), "1.5M");
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--instr", "500", "--csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_u64(&args, "--instr", 10), 500);
+        assert_eq!(arg_u64(&args, "--refs", 7), 7);
+        assert!(arg_flag(&args, "--csv"));
+        assert!(!arg_flag(&args, "--json"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a number")]
+    fn arg_u64_rejects_garbage() {
+        let args: Vec<String> = ["--instr", "abc"].iter().map(|s| s.to_string()).collect();
+        arg_u64(&args, "--instr", 1);
+    }
+}

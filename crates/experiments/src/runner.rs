@@ -1,0 +1,104 @@
+//! Thread-parallel experiment execution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on up to `threads` worker threads,
+/// preserving input order in the output.
+///
+/// ```
+/// use execmig_experiments::runner::parallel_map;
+/// let out = parallel_map(vec![1, 2, 3, 4], 2, |x| x * 10);
+/// assert_eq!(out, vec![10, 20, 30, 40]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if `f` panics on a worker thread.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    let next = AtomicUsize::new(0);
+    // Move items into per-index slots the workers can claim.
+    let inputs: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|x| std::sync::Mutex::new(Some(x)))
+        .collect();
+    let outputs: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i]
+                    .lock()
+                    .expect("input lock")
+                    .take()
+                    .expect("item claimed twice");
+                let result = f(item);
+                *outputs[i].lock().expect("output lock") = Some(result);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|m| m.into_inner().expect("output lock").expect("worker died"))
+        .collect()
+}
+
+/// A sensible worker count: the machine's parallelism, at most `cap`.
+pub fn default_threads(cap: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cap)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), 8, |x: i32| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as i32);
+        }
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let out = parallel_map(vec!["a", "b"], 1, |s| s.to_uppercase());
+        assert_eq!(out, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![1], 16, |x| x + 1);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn default_threads_bounded() {
+        assert!(default_threads(4) >= 1);
+        assert!(default_threads(4) <= 4);
+    }
+}

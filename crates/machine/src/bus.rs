@@ -1,0 +1,196 @@
+//! Update-bus bandwidth accounting (§2.3).
+//!
+//! Every instruction retiring on the active core is broadcast so
+//! inactive cores can mirror the architectural state: register writes
+//! (identifier + 64-bit value), stores (address + value), branches
+//! (low-order address bits + outcome), plus a few type bits. The paper's
+//! example: a 4-wide retire with one store and one branch per cycle
+//! needs ≈ 45 bytes/cycle.
+
+/// Per-event byte costs on the update bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateBusConfig {
+    /// Bytes per register-writing instruction (6-bit identifier +
+    /// 64-bit value + type bits, rounded).
+    pub bytes_per_reg_write: u64,
+    /// Extra bytes per store (64-bit address + 64-bit value).
+    pub bytes_per_store: u64,
+    /// Extra bytes per branch (16 low-order address bits + outcome).
+    pub bytes_per_branch: u64,
+    /// Fraction (per-mille) of instructions that write a register.
+    pub reg_write_permille: u64,
+    /// Fraction (per-mille) of instructions that are branches.
+    pub branch_permille: u64,
+}
+
+impl Default for UpdateBusConfig {
+    fn default() -> Self {
+        UpdateBusConfig {
+            // 6-bit id + 64-bit value + type bits. The paper's §2.3
+            // bundle (4 reg writes + 1 store address + 1 branch address
+            // ≈ 45 bytes) treats the store value as one of the
+            // broadcast values, so the store's extra cost is its
+            // 64-bit address only.
+            bytes_per_reg_write: 9,
+            bytes_per_store: 8,
+            bytes_per_branch: 2, // 16 low-order address bits + outcome
+            reg_write_permille: 700,
+            branch_permille: 170,
+        }
+    }
+}
+
+/// Accumulated update-bus traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateBusStats {
+    /// Bytes broadcast for register updates.
+    pub reg_bytes: u64,
+    /// Bytes broadcast for stores.
+    pub store_bytes: u64,
+    /// Bytes broadcast for branches.
+    pub branch_bytes: u64,
+    /// Bytes broadcast to mirror L1 fills on inactive L1s (one line per
+    /// active-L1 miss, over the shared L2-L3 bus).
+    pub l1_mirror_bytes: u64,
+}
+
+impl UpdateBusStats {
+    /// Total bytes over the dedicated update bus (register + store +
+    /// branch traffic; L1 mirroring uses the shared L2-L3 bus and is
+    /// reported separately).
+    pub fn update_bus_bytes(&self) -> u64 {
+        self.reg_bytes + self.store_bytes + self.branch_bytes
+    }
+
+    /// Mean update-bus bytes per cycle for a run of `instructions`
+    /// retired at `ipc` instructions per cycle.
+    pub fn bytes_per_cycle(&self, instructions: u64, ipc: f64) -> f64 {
+        if instructions == 0 || ipc <= 0.0 {
+            return 0.0;
+        }
+        let cycles = instructions as f64 / ipc;
+        self.update_bus_bytes() as f64 / cycles
+    }
+}
+
+/// The update bus: charges per-instruction broadcast traffic.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBus {
+    config: UpdateBusConfig,
+    stats: UpdateBusStats,
+    /// Fixed-point remainders so fractional per-instruction rates are
+    /// exact over a run.
+    reg_acc: u64,
+    branch_acc: u64,
+}
+
+impl UpdateBus {
+    /// Creates a bus with the given cost model.
+    pub fn new(config: UpdateBusConfig) -> Self {
+        UpdateBus {
+            config,
+            ..UpdateBus::default()
+        }
+    }
+
+    /// Charges the broadcast traffic of `instructions` retired
+    /// instructions, of which `stores` are stores.
+    pub fn charge_instructions(&mut self, instructions: u64, stores: u64) {
+        self.reg_acc += instructions * self.config.reg_write_permille;
+        let regs = self.reg_acc / 1000;
+        self.reg_acc %= 1000;
+        self.stats.reg_bytes += regs * self.config.bytes_per_reg_write;
+
+        self.branch_acc += instructions * self.config.branch_permille;
+        let branches = self.branch_acc / 1000;
+        self.branch_acc %= 1000;
+        self.stats.branch_bytes += branches * self.config.bytes_per_branch;
+
+        self.stats.store_bytes += stores * self.config.bytes_per_store;
+    }
+
+    /// Charges one L1-fill mirror broadcast of `line_bytes`.
+    pub fn charge_l1_mirror(&mut self, line_bytes: u64) {
+        self.stats.l1_mirror_bytes += line_bytes;
+    }
+
+    /// Accumulated traffic.
+    pub fn stats(&self) -> UpdateBusStats {
+        self.stats
+    }
+
+    /// The cost model in use.
+    pub fn config(&self) -> &UpdateBusConfig {
+        &self.config
+    }
+}
+
+/// The paper's §2.3 back-of-envelope estimate: bytes per cycle for a
+/// retire bundle of `width` instructions with one store and one branch.
+///
+/// ```
+/// use execmig_machine::bus::{paper_estimate_bytes_per_cycle, UpdateBusConfig};
+/// let b = paper_estimate_bytes_per_cycle(&UpdateBusConfig::default(), 4);
+/// // "the bandwidth requirement is approximately 45 bytes per cycle"
+/// assert!((40.0..=50.0).contains(&b), "estimate {b}");
+/// ```
+pub fn paper_estimate_bytes_per_cycle(config: &UpdateBusConfig, width: u64) -> f64 {
+    // All `width` instructions broadcast register identifiers + values;
+    // one store and one branch add their extra payloads.
+    (width * config.bytes_per_reg_write + config.bytes_per_store + config.bytes_per_branch)
+        as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_exactly() {
+        let mut bus = UpdateBus::new(UpdateBusConfig {
+            reg_write_permille: 500,
+            branch_permille: 250,
+            ..UpdateBusConfig::default()
+        });
+        bus.charge_instructions(1000, 100);
+        let s = bus.stats();
+        assert_eq!(s.reg_bytes, 500 * 9);
+        assert_eq!(s.branch_bytes, 250 * 2);
+        assert_eq!(s.store_bytes, 100 * 8);
+    }
+
+    #[test]
+    fn fractional_rates_are_exact_over_many_calls() {
+        let mut bus = UpdateBus::new(UpdateBusConfig {
+            reg_write_permille: 333,
+            branch_permille: 111,
+            ..UpdateBusConfig::default()
+        });
+        for _ in 0..1000 {
+            bus.charge_instructions(3, 0);
+        }
+        let s = bus.stats();
+        assert_eq!(s.reg_bytes, (3000 * 333 / 1000) * 9);
+        assert_eq!(s.branch_bytes, (3000 * 111 / 1000) * 2);
+    }
+
+    #[test]
+    fn bytes_per_cycle_uses_ipc() {
+        let mut bus = UpdateBus::new(UpdateBusConfig::default());
+        bus.charge_instructions(4000, 400);
+        let s = bus.stats();
+        let at_ipc2 = s.bytes_per_cycle(4000, 2.0);
+        let at_ipc4 = s.bytes_per_cycle(4000, 4.0);
+        assert!((at_ipc4 / at_ipc2 - 2.0).abs() < 1e-9);
+        assert_eq!(s.bytes_per_cycle(0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn mirror_traffic_counted_separately() {
+        let mut bus = UpdateBus::new(UpdateBusConfig::default());
+        bus.charge_l1_mirror(64);
+        bus.charge_l1_mirror(64);
+        assert_eq!(bus.stats().l1_mirror_bytes, 128);
+        assert_eq!(bus.stats().update_bus_bytes(), 0);
+    }
+}

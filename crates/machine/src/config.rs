@@ -1,0 +1,182 @@
+//! Machine configuration.
+
+use execmig_cache::{CacheConfig, Indexing};
+use execmig_core::ControllerConfig;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Index mapping.
+    pub indexing: Indexing,
+}
+
+impl CacheGeometry {
+    /// Converts to a [`CacheConfig`] with the given line size.
+    pub fn to_cache_config(self, line_bytes: u64) -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: self.capacity_bytes,
+            ways: self.ways,
+            line_bytes,
+            indexing: self.indexing,
+        }
+    }
+}
+
+/// Sequential next-line prefetcher configuration (§6 extension: "future
+/// research should determine how to best combine prefetching and
+/// execution migration").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Lines prefetched past each read miss (into the active L2).
+    pub degree: u32,
+}
+
+/// Full machine configuration.
+///
+/// Defaults mirror §4.2: 16 KB 4-way set-associative IL1/DL1, 512 KB
+/// 4-way skewed-associative L2 per core, 64-byte lines.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of cores (1, 2, 4 or 8).
+    pub cores: usize,
+    /// Cache-line size in bytes.
+    pub line_bytes: u64,
+    /// Instruction L1 geometry.
+    pub il1: CacheGeometry,
+    /// Data L1 geometry.
+    pub dl1: CacheGeometry,
+    /// Per-core L2 geometry.
+    pub l2: CacheGeometry,
+    /// Migration controller; `None` pins execution to core 0.
+    pub controller: Option<ControllerConfig>,
+    /// Sequential prefetcher; `None` disables prefetching.
+    pub prefetch: Option<PrefetchConfig>,
+    /// Shared L3 geometry; `None` models the paper's setting (the L3
+    /// is a latency class, not a capacity constraint — every L2 miss
+    /// not served L2-to-L2 hits it).
+    pub l3: Option<CacheGeometry>,
+}
+
+impl MachineConfig {
+    /// The single-core baseline of Table 2 (columns "L2 miss").
+    pub fn single_core() -> Self {
+        MachineConfig {
+            cores: 1,
+            line_bytes: 64,
+            il1: CacheGeometry {
+                capacity_bytes: 16 << 10,
+                ways: 4,
+                indexing: Indexing::Modulo,
+            },
+            dl1: CacheGeometry {
+                capacity_bytes: 16 << 10,
+                ways: 4,
+                indexing: Indexing::Modulo,
+            },
+            l2: CacheGeometry {
+                capacity_bytes: 512 << 10,
+                ways: 4,
+                indexing: Indexing::Skewed,
+            },
+            controller: None,
+            prefetch: None,
+            l3: None,
+        }
+    }
+
+    /// The four-core migration machine of §4.2 (columns "4xL2 miss" and
+    /// "migration").
+    pub fn four_core_migration() -> Self {
+        MachineConfig {
+            cores: 4,
+            controller: Some(ControllerConfig::paper_4core()),
+            ..MachineConfig::single_core()
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core count is unsupported, if a controller is
+    /// configured whose split degree does not match the core count, or
+    /// if the line size is not a power of two.
+    pub fn validate(&self) {
+        assert!(
+            matches!(self.cores, 1 | 2 | 4 | 8),
+            "supported core counts: 1, 2, 4, 8"
+        );
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        if let Some(c) = &self.controller {
+            assert_eq!(
+                c.ways.count(),
+                self.cores,
+                "controller split degree must match core count"
+            );
+        }
+        if let Some(p) = &self.prefetch {
+            assert!(
+                (1..=16).contains(&p.degree),
+                "prefetch degree must be in [1, 16]"
+            );
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::four_core_migration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        let c = MachineConfig::four_core_migration();
+        c.validate();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.l2.capacity_bytes, 512 << 10);
+        assert_eq!(c.l2.indexing, Indexing::Skewed);
+        assert_eq!(c.il1.capacity_bytes, 16 << 10);
+        let cfg = c.l2.to_cache_config(c.line_bytes);
+        assert_eq!(cfg.sets(), 2048);
+    }
+
+    #[test]
+    fn single_core_has_no_controller() {
+        let c = MachineConfig::single_core();
+        c.validate();
+        assert!(c.controller.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "split degree")]
+    fn mismatched_controller_rejected() {
+        let c = MachineConfig {
+            cores: 2,
+            ..MachineConfig::four_core_migration()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "core counts")]
+    fn bad_core_count_rejected() {
+        MachineConfig {
+            cores: 3,
+            controller: None,
+            ..MachineConfig::single_core()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! The multi-core machine model of Michaud (HPCA 2004) §2.
+//!
+//! A four-core single-chip processor in *migration mode*: one active core
+//! executes a sequential program; the others are powered but idle, their
+//! architectural state kept current over a dedicated *update bus*. Each
+//! core has private IL1/DL1 and L2 caches; an L3 behind them is shared.
+//!
+//! The model reproduces the paper's event-level semantics:
+//!
+//! - **L1 mirroring** (§2.3): every line brought into the active L1 is
+//!   broadcast to all inactive L1s, so "the L1 miss frequency is the same
+//!   as if execution had not migrated". The model exploits this by
+//!   keeping a single (mirrored) L1 pair.
+//! - **Migration-mode L2 coherence** (§2.1): the DL1 is write-through
+//!   non-write-allocate, the L2 write-back write-allocate; stores set the
+//!   *modified* bit on the active L2 and reset it on (still valid,
+//!   update-bus-refreshed) inactive copies; at most one copy is modified.
+//!   A modified line can be forwarded L2-to-L2 (simultaneously written
+//!   back to L3, bit reset); a non-modified line must be re-fetched from
+//!   L3. L2-to-L2 misses are *counted as L2 misses* — "we do not
+//!   distinguish between L2-to-L2 misses and L3 hits".
+//! - **The migration controller** drives migrations from the L1-miss
+//!   request stream (`execmig-core`).
+//! - **Update-bus accounting** (§2.3) and a **migration-protocol model**
+//!   (§2.2) quantify the bandwidth and the penalty `P_mig`.
+//!
+//! ```
+//! use execmig_machine::{Machine, MachineConfig};
+//! use execmig_trace::suite;
+//!
+//! let mut baseline = Machine::new(MachineConfig::single_core());
+//! let mut w = suite::by_name("art").unwrap();
+//! baseline.run(&mut *w, 200_000);
+//! assert!(baseline.stats().l2_misses > 0);
+//! ```
+
+pub mod branch;
+pub mod bus;
+pub mod config;
+pub mod machine;
+pub mod perf;
+pub mod pipeline;
+pub mod regcache;
+pub mod stats;
+pub mod thermal;
+pub mod timeline;
+
+pub use bus::{UpdateBus, UpdateBusConfig};
+pub use config::{CacheGeometry, MachineConfig, PrefetchConfig};
+pub use machine::Machine;
+pub use perf::{PerfModel, PerfSummary};
+pub use pipeline::{MigrationProtocol, PipelineConfig, ProtocolOutcome};
+pub use regcache::{RegCacheConfig, RegCacheStats, RegUpdateCache};
+pub use stats::MachineStats;
+pub use thermal::{ThermalConfig, ThermalModel};
+pub use timeline::TimelineSample;

@@ -1,0 +1,186 @@
+//! Analytic performance model and the break-even migration penalty.
+//!
+//! The paper deliberately avoids fixing `P_mig` (the penalty of a
+//! migration relative to an L2-miss/L3-hit): "We make no assumption on
+//! the value of `P_mig` in this study, but `P_mig > 1`." Instead it
+//! reasons about the break-even point — e.g. for 181.mcf, "the number of
+//! L2 misses removed per migration is 4500/24 − 4500/36 ≈ 60. It means
+//! that as long as the migration penalty is less than 60 times the
+//! L2-miss/L3-hit penalty, i.e., `P_mig < 60`, we will observe
+//! performance gains."
+//!
+//! [`PerfModel`] turns event counts into cycles for a *given* `P_mig`,
+//! and [`break_even_pmig`] computes the paper's figure of merit from a
+//! baseline run and a migration run.
+
+use crate::stats::MachineStats;
+
+/// Latency parameters, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfModel {
+    /// Base cycles per instruction with an ideal memory system.
+    pub base_cpi: f64,
+    /// Added cycles for an L1 miss that hits the local L2.
+    pub l2_hit_penalty: f64,
+    /// Added cycles for an L2 miss (L3 hit or L2-to-L2 forward — the
+    /// paper treats them as equivalent).
+    pub l3_hit_penalty: f64,
+    /// Migration penalty relative to `l3_hit_penalty` (`P_mig`).
+    pub pmig: f64,
+    /// Added cycles for a finite-L3 miss (memory access). Only
+    /// relevant when the machine is configured with a finite L3.
+    pub memory_penalty: f64,
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        PerfModel {
+            base_cpi: 0.5,
+            l2_hit_penalty: 10.0,
+            l3_hit_penalty: 40.0,
+            pmig: 10.0,
+            memory_penalty: 200.0,
+        }
+    }
+}
+
+/// Cycle totals derived from one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfSummary {
+    /// Total estimated cycles.
+    pub cycles: f64,
+    /// Estimated instructions per cycle.
+    pub ipc: f64,
+    /// Fraction of cycles spent on migrations.
+    pub migration_overhead: f64,
+}
+
+impl PerfModel {
+    /// Estimates the cycle count of a run.
+    ///
+    /// L1 misses that hit the L2 pay `l2_hit_penalty`; L2 misses pay
+    /// `l3_hit_penalty` on top; migrations pay `pmig × l3_hit_penalty`.
+    pub fn summarize(&self, stats: &MachineStats) -> PerfSummary {
+        let l2_hits = stats.l1_requests.saturating_sub(stats.l2_misses) as f64;
+        let base = stats.instructions as f64 * self.base_cpi;
+        let l2 = l2_hits * self.l2_hit_penalty;
+        let l3 = stats.l2_misses as f64 * (self.l2_hit_penalty + self.l3_hit_penalty);
+        let mem = stats.l3_misses as f64 * self.memory_penalty;
+        let mig = stats.migrations as f64 * self.pmig * self.l3_hit_penalty;
+        let cycles = base + l2 + l3 + mem + mig;
+        PerfSummary {
+            cycles,
+            ipc: if cycles > 0.0 {
+                stats.instructions as f64 / cycles
+            } else {
+                0.0
+            },
+            migration_overhead: if cycles > 0.0 { mig / cycles } else { 0.0 },
+        }
+    }
+
+    /// Speed-up of `migration` over `baseline` for this model's `pmig`
+    /// (> 1 means migration wins).
+    pub fn speedup(&self, baseline: &MachineStats, migration: &MachineStats) -> f64 {
+        let b = self.summarize(baseline);
+        let m = self.summarize(migration);
+        // Normalize per instruction in case the runs differ slightly.
+        let b_cpi = b.cycles / baseline.instructions.max(1) as f64;
+        let m_cpi = m.cycles / migration.instructions.max(1) as f64;
+        b_cpi / m_cpi
+    }
+}
+
+/// The paper's break-even `P_mig`: L2 misses removed per migration.
+/// Migration is profitable whenever `P_mig` is below this value.
+/// Returns `None` when the migration run has no migrations, or a
+/// non-positive value when migration *adds* misses (never profitable).
+pub fn break_even_pmig(baseline: &MachineStats, migration: &MachineStats) -> Option<f64> {
+    if migration.migrations == 0 {
+        return None;
+    }
+    // Normalize miss counts per instruction before differencing.
+    let b_rate = baseline.l2_misses as f64 / baseline.instructions.max(1) as f64;
+    let m_rate = migration.l2_misses as f64 / migration.instructions.max(1) as f64;
+    let removed_per_instr = b_rate - m_rate;
+    let migrations_per_instr =
+        migration.migrations as f64 / migration.instructions.max(1) as f64;
+    Some(removed_per_instr / migrations_per_instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(instr: u64, l1: u64, l2: u64, mig: u64) -> MachineStats {
+        MachineStats {
+            instructions: instr,
+            l1_requests: l1,
+            l2_misses: l2,
+            migrations: mig,
+            ..MachineStats::default()
+        }
+    }
+
+    #[test]
+    fn paper_mcf_break_even_is_sixty() {
+        // mcf: L1 request every 14 instr, L2 miss every 24 (baseline)
+        // vs every 36 (migration), migration every 4500 instr.
+        let n = 1_000_000_000u64;
+        let base = stats(n, n / 14, n / 24, 0);
+        let mig = stats(n, n / 14, n / 36, n / 4500);
+        let be = break_even_pmig(&base, &mig).unwrap();
+        assert!(
+            (55.0..=65.0).contains(&be),
+            "expected ≈60 (paper §4.2), got {be}"
+        );
+    }
+
+    #[test]
+    fn break_even_none_without_migrations() {
+        let base = stats(1000, 100, 50, 0);
+        let mig = stats(1000, 100, 40, 0);
+        assert_eq!(break_even_pmig(&base, &mig), None);
+    }
+
+    #[test]
+    fn break_even_negative_when_misses_increase() {
+        let base = stats(1000, 100, 40, 0);
+        let mig = stats(1000, 100, 50, 10);
+        assert!(break_even_pmig(&base, &mig).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn speedup_crosses_one_at_break_even() {
+        let n = 10_000_000u64;
+        let base = stats(n, n / 14, n / 24, 0);
+        let mig = stats(n, n / 14, n / 36, n / 4500);
+        let be = break_even_pmig(&base, &mig).unwrap();
+        let below = PerfModel {
+            pmig: be * 0.5,
+            ..PerfModel::default()
+        };
+        let above = PerfModel {
+            pmig: be * 2.0,
+            ..PerfModel::default()
+        };
+        assert!(below.speedup(&base, &mig) > 1.0);
+        assert!(above.speedup(&base, &mig) < 1.0);
+        let at = PerfModel {
+            pmig: be,
+            ..PerfModel::default()
+        };
+        assert!((at.speedup(&base, &mig) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_accounts_migration_overhead() {
+        let m = PerfModel::default();
+        let with = m.summarize(&stats(1000, 100, 50, 20));
+        let without = m.summarize(&stats(1000, 100, 50, 0));
+        assert!(with.cycles > without.cycles);
+        assert!(with.migration_overhead > 0.0);
+        assert_eq!(without.migration_overhead, 0.0);
+        assert!(with.ipc < without.ipc);
+    }
+}

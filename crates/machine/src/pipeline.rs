@@ -1,0 +1,222 @@
+//! The migration protocol of §2.2 and its penalty.
+//!
+//! When the controller decides to migrate from X1 to X2:
+//!
+//! 1. X1's I-fetch unit receives an interrupt, stops fetching, and marks
+//!    the most recently fetched instruction as the *transition
+//!    instruction* `T`;
+//! 2. the transition PC is forwarded to X2, which starts fetching but
+//!    keeps its issue stage blocked;
+//! 3. X1 drains; if a branch mispredict occurs while draining, the
+//!    mispredicted branch becomes the new transition point, X2 is
+//!    flushed and refetched;
+//! 4. when `T` retires on X1 (and its broadcast reaches X2), X2's issue
+//!    unblocks; X2 is the new active core.
+//!
+//! §2.4: "the migration penalty corresponds to the number of cycles for
+//! broadcasting `T` on the update bus plus the number of pipeline stages
+//! from the issue stage to retirement". This module simulates exactly
+//! that protocol over a simple in-order-retire window model, including
+//! the mispredict-during-drain case, to produce a penalty distribution
+//! in cycles.
+
+/// Pipeline and bus parameters for the protocol model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Instructions in flight between fetch and retire when the
+    /// interrupt arrives (window occupancy).
+    pub inflight: u64,
+    /// Maximum retires per cycle on X1 while draining.
+    pub retire_width: u64,
+    /// Pipeline stages from the issue stage to retirement (§2.4).
+    pub issue_to_retire_stages: u64,
+    /// Cycles to broadcast one retired instruction on the update bus
+    /// (also assumed equal to the transition-PC transfer delay, as in
+    /// §2.4).
+    pub broadcast_cycles: u64,
+    /// Probability (per-mille) that a branch mispredict redirects the
+    /// drain, per drained instruction.
+    pub mispredict_permille: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            inflight: 48,
+            retire_width: 4,
+            issue_to_retire_stages: 8,
+            broadcast_cycles: 1,
+            mispredict_permille: 5,
+        }
+    }
+}
+
+/// Result of simulating one migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolOutcome {
+    /// Cycles from the interrupt on X1 to the first instruction retiring
+    /// on X2 — the migration penalty.
+    pub penalty_cycles: u64,
+    /// Number of drain restarts caused by mispredicts.
+    pub mispredict_restarts: u64,
+}
+
+/// Simulator of the §2.2 migration protocol.
+#[derive(Debug, Clone)]
+pub struct MigrationProtocol {
+    config: PipelineConfig,
+    /// xorshift state for the mispredict draw (deterministic).
+    rng_state: u64,
+}
+
+impl MigrationProtocol {
+    /// Creates the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retire_width` is 0.
+    pub fn new(config: PipelineConfig, seed: u64) -> Self {
+        assert!(config.retire_width > 0, "retire width must be positive");
+        MigrationProtocol {
+            config,
+            rng_state: seed | 1,
+        }
+    }
+
+    fn flip(&mut self, permille: u64) -> bool {
+        self.rng_state ^= self.rng_state << 13;
+        self.rng_state ^= self.rng_state >> 7;
+        self.rng_state ^= self.rng_state << 17;
+        self.rng_state % 1000 < permille
+    }
+
+    /// Simulates one migration and returns its penalty.
+    pub fn simulate_migration(&mut self) -> ProtocolOutcome {
+        let c = self.config;
+        let mut cycles = 0u64;
+        let mut restarts = 0u64;
+        // X1 drains the in-flight window at retire_width per cycle; a
+        // mispredict flushes the younger part of the window and makes
+        // the branch the new transition point (X2 refetches — modelled
+        // as restarting the transition-PC transfer).
+        let mut remaining = c.inflight;
+        while remaining > 0 {
+            let retired = remaining.min(c.retire_width);
+            remaining -= retired;
+            cycles += 1;
+            let mut drained_mispredicted = false;
+            for _ in 0..retired {
+                if self.flip(c.mispredict_permille) {
+                    drained_mispredicted = true;
+                }
+            }
+            if drained_mispredicted && remaining > 0 {
+                // Instructions after the mispredict are flushed: the
+                // drain shortens, but X2 must be flushed and refetched.
+                remaining /= 2;
+                restarts += 1;
+            }
+        }
+        // After T retires on X1: broadcast T on the update bus, then T's
+        // follower must traverse issue→retire on X2 (§2.4).
+        cycles += c.broadcast_cycles + c.issue_to_retire_stages;
+        ProtocolOutcome {
+            penalty_cycles: cycles,
+            mispredict_restarts: restarts,
+        }
+    }
+
+    /// Simulates `n` migrations; returns the mean penalty in cycles.
+    pub fn mean_penalty(&mut self, n: u64) -> f64 {
+        assert!(n > 0, "need at least one sample");
+        let total: u64 = (0..n)
+            .map(|_| self.simulate_migration().penalty_cycles)
+            .sum();
+        total as f64 / n as f64
+    }
+
+    /// The §2.4 closed-form lower bound: drain + broadcast + stages.
+    pub fn analytic_penalty(&self) -> u64 {
+        let c = self.config;
+        c.inflight.div_ceil(c.retire_width) + c.broadcast_cycles + c.issue_to_retire_stages
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_without_mispredicts_is_analytic() {
+        let cfg = PipelineConfig {
+            mispredict_permille: 0,
+            ..PipelineConfig::default()
+        };
+        let mut p = MigrationProtocol::new(cfg, 42);
+        let out = p.simulate_migration();
+        assert_eq!(out.penalty_cycles, p.analytic_penalty());
+        assert_eq!(out.mispredict_restarts, 0);
+    }
+
+    #[test]
+    fn analytic_matches_paper_formula() {
+        // 48 in flight at 4/cycle = 12 cycles of drain, +1 broadcast,
+        // +8 issue→retire stages = 21 cycles.
+        let p = MigrationProtocol::new(PipelineConfig::default(), 1);
+        assert_eq!(p.analytic_penalty(), 21);
+    }
+
+    #[test]
+    fn mispredicts_shorten_drain_but_add_restarts() {
+        let cfg = PipelineConfig {
+            mispredict_permille: 300,
+            inflight: 256,
+            ..PipelineConfig::default()
+        };
+        let mut p = MigrationProtocol::new(cfg, 7);
+        let mut any_restart = false;
+        for _ in 0..100 {
+            let out = p.simulate_migration();
+            assert!(out.penalty_cycles <= p.analytic_penalty());
+            if out.mispredict_restarts > 0 {
+                any_restart = true;
+            }
+        }
+        assert!(any_restart, "30% mispredict rate never restarted");
+    }
+
+    #[test]
+    fn mean_penalty_is_deterministic_per_seed() {
+        let mut a = MigrationProtocol::new(PipelineConfig::default(), 9);
+        let mut b = MigrationProtocol::new(PipelineConfig::default(), 9);
+        assert_eq!(a.mean_penalty(1000), b.mean_penalty(1000));
+    }
+
+    #[test]
+    fn empty_window_still_pays_stages() {
+        let cfg = PipelineConfig {
+            inflight: 0,
+            mispredict_permille: 0,
+            ..PipelineConfig::default()
+        };
+        let mut p = MigrationProtocol::new(cfg, 3);
+        assert_eq!(p.simulate_migration().penalty_cycles, 1 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "retire width")]
+    fn zero_retire_width_rejected() {
+        MigrationProtocol::new(
+            PipelineConfig {
+                retire_width: 0,
+                ..PipelineConfig::default()
+            },
+            1,
+        );
+    }
+}

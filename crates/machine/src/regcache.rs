@@ -1,0 +1,287 @@
+//! §6 extension: filtering register updates with a register-update
+//! cache.
+//!
+//! "Register updates consume most bandwidth. … One may also filter
+//! register updates with a small register-update cache. A register
+//! update would be sent only upon evicting an entry from the
+//! register-update cache. Upon a migration, the content of the
+//! register-update cache would be spilled on the update bus."
+//!
+//! Only the most recent pending write per logical register matters to
+//! inactive cores, so consecutive writes to the same register coalesce.
+//! The model replays a synthetic register-destination stream (a skewed
+//! distribution over the logical registers, matching the hot-register
+//! concentration of compiled code) through a small fully-associative
+//! cache and reports how much broadcast traffic survives and what each
+//! migration's spill costs.
+
+/// Configuration of the register-update cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegCacheConfig {
+    /// Cache entries (0 disables the cache: every write broadcasts).
+    pub entries: usize,
+    /// Logical registers in the ISA (PISA: 32 int + 32 fp).
+    pub logical_regs: u32,
+    /// Per-mille fraction of destination draws taken from the hot
+    /// subset (compiled code concentrates writes on few registers).
+    pub hot_permille: u64,
+    /// Size of the hot register subset.
+    pub hot_regs: u32,
+}
+
+impl Default for RegCacheConfig {
+    fn default() -> Self {
+        RegCacheConfig {
+            entries: 8,
+            logical_regs: 64,
+            hot_permille: 700,
+            hot_regs: 8,
+        }
+    }
+}
+
+/// Counters of the register-update cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegCacheStats {
+    /// Register writes observed.
+    pub writes: u64,
+    /// Writes that coalesced into a pending entry (no broadcast).
+    pub coalesced: u64,
+    /// Broadcasts caused by evictions.
+    pub evict_broadcasts: u64,
+    /// Migrations processed.
+    pub spills: u64,
+    /// Entries spilled across all migrations.
+    pub spilled_entries: u64,
+}
+
+impl RegCacheStats {
+    /// Total update-bus register messages (evictions + spills). Without
+    /// a cache this equals `writes`.
+    pub fn broadcasts(&self) -> u64 {
+        self.evict_broadcasts + self.spilled_entries
+    }
+
+    /// Fraction of register writes whose broadcast was avoided.
+    pub fn saved_fraction(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            1.0 - self.broadcasts() as f64 / self.writes as f64
+        }
+    }
+
+    /// Mean entries spilled per migration.
+    pub fn spill_per_migration(&self) -> f64 {
+        if self.spills == 0 {
+            0.0
+        } else {
+            self.spilled_entries as f64 / self.spills as f64
+        }
+    }
+}
+
+/// The register-update cache, with a deterministic synthetic
+/// destination stream.
+#[derive(Debug, Clone)]
+pub struct RegUpdateCache {
+    config: RegCacheConfig,
+    /// Pending registers, most recently written last.
+    pending: Vec<u32>,
+    stats: RegCacheStats,
+    rng_state: u64,
+}
+
+impl RegUpdateCache {
+    /// Creates the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hot subset exceeds the logical register count.
+    pub fn new(config: RegCacheConfig, seed: u64) -> Self {
+        assert!(
+            config.hot_regs <= config.logical_regs,
+            "hot subset larger than the register file"
+        );
+        assert!(config.logical_regs > 0, "need at least one register");
+        RegUpdateCache {
+            config,
+            pending: Vec::with_capacity(config.entries),
+            stats: RegCacheStats::default(),
+            rng_state: seed | 1,
+        }
+    }
+
+    fn draw_dest(&mut self) -> u32 {
+        self.rng_state ^= self.rng_state << 13;
+        self.rng_state ^= self.rng_state >> 7;
+        self.rng_state ^= self.rng_state << 17;
+        let r = self.rng_state;
+        if r % 1000 < self.config.hot_permille {
+            ((r >> 32) % self.config.hot_regs as u64) as u32
+        } else {
+            ((r >> 32) % self.config.logical_regs as u64) as u32
+        }
+    }
+
+    /// Processes one register write to a synthetic destination; returns
+    /// true if a broadcast went out (eviction, or no cache configured).
+    pub fn on_reg_write(&mut self) -> bool {
+        let reg = self.draw_dest();
+        self.stats.writes += 1;
+        if self.config.entries == 0 {
+            self.stats.evict_broadcasts += 1;
+            return true;
+        }
+        if let Some(pos) = self.pending.iter().position(|&r| r == reg) {
+            // Coalesce: refresh recency.
+            self.pending.remove(pos);
+            self.pending.push(reg);
+            self.stats.coalesced += 1;
+            return false;
+        }
+        let mut broadcast = false;
+        if self.pending.len() == self.config.entries {
+            self.pending.remove(0); // evict LRU -> broadcast it
+            self.stats.evict_broadcasts += 1;
+            broadcast = true;
+        }
+        self.pending.push(reg);
+        broadcast
+    }
+
+    /// Spills all pending entries (a migration); returns how many.
+    pub fn on_migration(&mut self) -> usize {
+        let n = self.pending.len();
+        self.pending.clear();
+        self.stats.spills += 1;
+        self.stats.spilled_entries += n as u64;
+        n
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RegCacheStats {
+        self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RegCacheConfig {
+        &self.config
+    }
+}
+
+/// Replays `reg_writes` register writes with `migrations` evenly-spaced
+/// migrations and reports the traffic outcome.
+pub fn simulate(
+    config: RegCacheConfig,
+    reg_writes: u64,
+    migrations: u64,
+    seed: u64,
+) -> RegCacheStats {
+    let mut cache = RegUpdateCache::new(config, seed);
+    let spill_every = if migrations > 0 {
+        (reg_writes / migrations).max(1)
+    } else {
+        u64::MAX
+    };
+    for i in 0..reg_writes {
+        cache.on_reg_write();
+        if i % spill_every == spill_every - 1 {
+            cache.on_migration();
+        }
+    }
+    cache.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cache_broadcasts_everything() {
+        let stats = simulate(
+            RegCacheConfig {
+                entries: 0,
+                ..RegCacheConfig::default()
+            },
+            10_000,
+            0,
+            1,
+        );
+        assert_eq!(stats.broadcasts(), 10_000);
+        assert_eq!(stats.saved_fraction(), 0.0);
+    }
+
+    #[test]
+    fn cache_coalesces_hot_registers() {
+        let stats = simulate(RegCacheConfig::default(), 100_000, 0, 2);
+        // 70% of writes hit 8 hot registers and an 8-entry cache: a
+        // large fraction must coalesce.
+        assert!(
+            stats.saved_fraction() > 0.4,
+            "saved only {}",
+            stats.saved_fraction()
+        );
+        assert_eq!(
+            stats.writes,
+            stats.coalesced + stats.evict_broadcasts + stats.spilled_entries
+                + (stats.writes - stats.coalesced - stats.evict_broadcasts
+                    - stats.spilled_entries)
+        );
+    }
+
+    #[test]
+    fn bigger_cache_saves_more() {
+        let small = simulate(
+            RegCacheConfig {
+                entries: 4,
+                ..RegCacheConfig::default()
+            },
+            100_000,
+            0,
+            3,
+        );
+        let large = simulate(
+            RegCacheConfig {
+                entries: 32,
+                ..RegCacheConfig::default()
+            },
+            100_000,
+            0,
+            3,
+        );
+        assert!(large.saved_fraction() > small.saved_fraction());
+    }
+
+    #[test]
+    fn migrations_spill_pending_entries() {
+        let stats = simulate(RegCacheConfig::default(), 100_000, 100, 4);
+        assert_eq!(stats.spills, 100);
+        assert!(stats.spill_per_migration() > 0.0);
+        assert!(stats.spill_per_migration() <= 8.0, "spill exceeds capacity");
+    }
+
+    #[test]
+    fn spill_empties_the_cache() {
+        let mut c = RegUpdateCache::new(RegCacheConfig::default(), 5);
+        for _ in 0..100 {
+            c.on_reg_write();
+        }
+        let n = c.on_migration();
+        assert!(n > 0);
+        assert_eq!(c.on_migration(), 0, "second spill must be empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "hot subset")]
+    fn rejects_oversized_hot_set() {
+        RegUpdateCache::new(
+            RegCacheConfig {
+                hot_regs: 100,
+                logical_regs: 64,
+                ..RegCacheConfig::default()
+            },
+            1,
+        );
+    }
+}

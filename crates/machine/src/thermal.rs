@@ -1,0 +1,189 @@
+//! §6 extension: activity migration for heat dissipation.
+//!
+//! "It has been suggested that migrating periodically the activity to
+//! different parts of the chip permits a higher heat dissipation"
+//! (citing Heo, Barr & Asanović, ISLPED 2003). The paper argues the
+//! hardware cost of fast migration "will be better accepted if one can
+//! find other advantages" — this module quantifies that bonus with a
+//! simple lumped-RC thermal model.
+//!
+//! Each core is a thermal node: executing adds heat at a fixed rate,
+//! every node leaks toward ambient exponentially. Peak steady-state
+//! temperature falls as activity rotates faster, until migration
+//! overhead (not modelled here — see [`PerfModel`](crate::PerfModel))
+//! eats the gain.
+
+/// Lumped thermal parameters (arbitrary consistent units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalConfig {
+    /// Heat added to the active core per kilo-instruction.
+    pub heat_per_kinstr: f64,
+    /// Exponential decay toward ambient per kilo-instruction
+    /// (`T ← T · (1 − cooling)`), for every core.
+    pub cooling_per_kinstr: f64,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        ThermalConfig {
+            heat_per_kinstr: 1.0,
+            cooling_per_kinstr: 0.001,
+        }
+    }
+}
+
+/// Per-core temperatures above ambient.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    config: ThermalConfig,
+    temps: Vec<f64>,
+    peak: f64,
+}
+
+impl ThermalModel {
+    /// Creates the model with all cores at ambient.
+    ///
+    /// # Panics
+    ///
+    /// Panics with zero cores or a cooling rate outside `(0, 1)`.
+    pub fn new(cores: usize, config: ThermalConfig) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(
+            config.cooling_per_kinstr > 0.0 && config.cooling_per_kinstr < 1.0,
+            "cooling rate must be in (0, 1)"
+        );
+        ThermalModel {
+            config,
+            temps: vec![0.0; cores],
+            peak: 0.0,
+        }
+    }
+
+    /// Advances the model by `kinstr` kilo-instructions with `active`
+    /// executing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is out of range.
+    pub fn advance(&mut self, active: usize, kinstr: f64) {
+        assert!(active < self.temps.len(), "active core out of range");
+        // Closed-form update over the interval: heat the active core,
+        // cool everyone. Using per-step Euler at kinstr granularity is
+        // accurate enough for the comparison.
+        for (i, t) in self.temps.iter_mut().enumerate() {
+            let decay = (1.0 - self.config.cooling_per_kinstr).powf(kinstr);
+            *t *= decay;
+            if i == active {
+                // Heat input integrated against the decay.
+                let gain = self.config.heat_per_kinstr
+                    * (1.0 - decay)
+                    / self.config.cooling_per_kinstr;
+                *t += gain;
+            }
+            if *t > self.peak {
+                self.peak = *t;
+            }
+        }
+    }
+
+    /// Current temperature of a core above ambient.
+    pub fn temperature(&self, core: usize) -> f64 {
+        self.temps[core]
+    }
+
+    /// Hottest instantaneous temperature seen so far.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// The steady-state temperature of a never-migrating core.
+    pub fn pinned_steady_state(&self) -> f64 {
+        self.config.heat_per_kinstr / self.config.cooling_per_kinstr
+    }
+}
+
+/// Simulates rotation among `cores` cores every `rotate_kinstr`
+/// kilo-instructions for `total_kinstr`, returning the peak
+/// temperature.
+pub fn peak_with_rotation(
+    cores: usize,
+    config: ThermalConfig,
+    rotate_kinstr: f64,
+    total_kinstr: f64,
+) -> f64 {
+    let mut model = ThermalModel::new(cores, config);
+    let mut at = 0.0;
+    let mut core = 0;
+    while at < total_kinstr {
+        let step = rotate_kinstr.min(total_kinstr - at);
+        model.advance(core, step);
+        core = (core + 1) % cores;
+        at += step;
+    }
+    model.peak()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_execution_approaches_steady_state() {
+        let config = ThermalConfig::default();
+        let mut m = ThermalModel::new(4, config);
+        m.advance(0, 20_000.0);
+        let t = m.temperature(0);
+        let steady = m.pinned_steady_state();
+        assert!(
+            (t - steady).abs() / steady < 0.01,
+            "t {t} vs steady {steady}"
+        );
+        assert_eq!(m.temperature(1), 0.0);
+    }
+
+    #[test]
+    fn rotation_lowers_peak_temperature() {
+        let config = ThermalConfig::default();
+        let total = 100_000.0;
+        let pinned = peak_with_rotation(4, config, total, total);
+        let slow = peak_with_rotation(4, config, 2_000.0, total);
+        let fast = peak_with_rotation(4, config, 100.0, total);
+        assert!(slow < pinned, "slow rotation {slow} vs pinned {pinned}");
+        assert!(fast < slow, "fast rotation {fast} vs slow {slow}");
+        // With fast rotation over 4 cores, the duty cycle is 1/4: peak
+        // approaches a quarter of the pinned steady state.
+        let quarter = pinned / 4.0;
+        assert!(
+            fast < quarter * 1.3,
+            "fast rotation {fast} far above the duty-cycle bound {quarter}"
+        );
+    }
+
+    #[test]
+    fn idle_cores_cool_down() {
+        let mut m = ThermalModel::new(2, ThermalConfig::default());
+        m.advance(0, 5_000.0);
+        let hot = m.temperature(0);
+        m.advance(1, 5_000.0);
+        assert!(m.temperature(0) < hot, "core 0 did not cool while idle");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_core() {
+        let mut m = ThermalModel::new(2, ThermalConfig::default());
+        m.advance(5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling rate")]
+    fn rejects_bad_cooling() {
+        ThermalModel::new(
+            2,
+            ThermalConfig {
+                cooling_per_kinstr: 1.5,
+                ..ThermalConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Windowed time-series instrumentation.
+//!
+//! Aggregate counts hide the *dynamics* of execution migration: when
+//! the controller learns a split, how execution rotates among the
+//! cores, what a phase change costs. [`record`] runs a machine in
+//! fixed instruction windows and snapshots the per-window deltas.
+
+use crate::machine::Machine;
+use crate::stats::MachineStats;
+use execmig_trace::Workload;
+
+/// One instruction window's activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineSample {
+    /// Cumulative instructions at the end of the window.
+    pub instructions: u64,
+    /// L2 misses within the window.
+    pub l2_misses: u64,
+    /// Migrations within the window.
+    pub migrations: u64,
+    /// L1-miss requests within the window.
+    pub l1_requests: u64,
+    /// Core executing at the end of the window.
+    pub active_core: usize,
+}
+
+impl TimelineSample {
+    /// L2 misses per kilo-instruction in this window.
+    pub fn l2_miss_density(&self, window: u64) -> f64 {
+        self.l2_misses as f64 * 1000.0 / window.max(1) as f64
+    }
+}
+
+/// Runs `workload` on `machine` until `total_instructions`, sampling
+/// every `window` instructions.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn record<W: Workload + ?Sized>(
+    machine: &mut Machine,
+    workload: &mut W,
+    total_instructions: u64,
+    window: u64,
+) -> Vec<TimelineSample> {
+    assert!(window > 0, "window must be positive");
+    let mut samples = Vec::new();
+    let mut prev = *machine.stats();
+    let mut at = workload.instructions();
+    while at < total_instructions {
+        at = (at + window).min(total_instructions);
+        machine.run(workload, at);
+        let now = *machine.stats();
+        samples.push(delta_sample(&prev, &now, machine.active_core()));
+        prev = now;
+    }
+    samples
+}
+
+fn delta_sample(prev: &MachineStats, now: &MachineStats, core: usize) -> TimelineSample {
+    TimelineSample {
+        instructions: now.instructions,
+        l2_misses: now.l2_misses - prev.l2_misses,
+        migrations: now.migrations - prev.migrations,
+        l1_requests: now.l1_requests - prev.l1_requests,
+        active_core: core,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use execmig_trace::suite;
+
+    #[test]
+    fn windows_cover_the_run() {
+        let mut m = Machine::new(MachineConfig::single_core());
+        let mut w = suite::by_name("twolf").unwrap();
+        let samples = record(&mut m, &mut *w, 1_000_000, 100_000);
+        assert_eq!(samples.len(), 10);
+        assert!(samples.last().unwrap().instructions >= 1_000_000);
+        let total: u64 = samples.iter().map(|s| s.l2_misses).sum();
+        assert_eq!(total, m.stats().l2_misses);
+    }
+
+    #[test]
+    fn learning_phase_shows_in_the_timeline() {
+        // On art, the early windows (controller still learning) have
+        // high L2-miss density; late windows, after the split settles,
+        // are far cheaper.
+        let mut m = Machine::new(MachineConfig::four_core_migration());
+        let mut w = suite::by_name("art").unwrap();
+        let samples = record(&mut m, &mut *w, 20_000_000, 1_000_000);
+        let early = samples[0].l2_misses;
+        let late = samples.last().unwrap().l2_misses;
+        assert!(
+            late * 4 < early,
+            "no learning visible: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn migration_machine_rotates_cores() {
+        let mut m = Machine::new(MachineConfig::four_core_migration());
+        let mut w = suite::by_name("em3d").unwrap();
+        let samples = record(&mut m, &mut *w, 10_000_000, 250_000);
+        let cores: std::collections::HashSet<usize> =
+            samples.iter().map(|s| s.active_core).collect();
+        assert!(cores.len() >= 2, "never left core {:?}", cores);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        let mut m = Machine::new(MachineConfig::single_core());
+        let mut w = suite::by_name("twolf").unwrap();
+        let _ = record(&mut m, &mut *w, 1000, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Memory accesses emitted by workloads.
+
+use crate::addr::Addr;
+use std::fmt;
+
+/// The kind of a memory access.
+///
+/// The paper's machine model distinguishes instruction fetches (served by
+/// the IL1), loads and stores (served by the write-through,
+/// non-write-allocate DL1). The LRU-stack experiment of §4.1 "does not
+/// distinguish between loads and stores", which downstream code expresses
+/// with [`AccessKind::is_data`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch.
+    IFetch,
+    /// Data read.
+    Load,
+    /// Data write.
+    Store,
+}
+
+impl AccessKind {
+    /// True for loads and stores.
+    ///
+    /// ```
+    /// use execmig_trace::AccessKind;
+    /// assert!(AccessKind::Load.is_data());
+    /// assert!(AccessKind::Store.is_data());
+    /// assert!(!AccessKind::IFetch.is_data());
+    /// ```
+    pub const fn is_data(self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::Store)
+    }
+
+    /// True for stores.
+    pub const fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::IFetch => "ifetch",
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One memory access: a kind, a byte address, and whether it is a
+/// *pointer load* (a load whose result is itself dereferenced —
+/// linked-data-structure traversal). §6 suggests restricting migration
+/// triggers to pointer loads, whose L2 misses are the expensive ones.
+///
+/// ```
+/// use execmig_trace::{Access, AccessKind, Addr};
+/// let a = Access::load(Addr::new(0x40));
+/// assert_eq!(a.kind, AccessKind::Load);
+/// assert_eq!(a.addr.raw(), 0x40);
+/// assert!(!a.pointer);
+/// assert!(Access::pointer_load(Addr::new(0x40)).pointer);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// What the access does.
+    pub kind: AccessKind,
+    /// The byte address accessed.
+    pub addr: Addr,
+    /// True for pointer loads (linked-data-structure traversal).
+    pub pointer: bool,
+}
+
+impl Access {
+    /// Creates an access (not a pointer load).
+    pub const fn new(kind: AccessKind, addr: Addr) -> Self {
+        Access {
+            kind,
+            addr,
+            pointer: false,
+        }
+    }
+
+    /// Creates an instruction fetch.
+    pub const fn ifetch(addr: Addr) -> Self {
+        Access::new(AccessKind::IFetch, addr)
+    }
+
+    /// Creates a load.
+    pub const fn load(addr: Addr) -> Self {
+        Access::new(AccessKind::Load, addr)
+    }
+
+    /// Creates a pointer load.
+    pub const fn pointer_load(addr: Addr) -> Self {
+        Access {
+            kind: AccessKind::Load,
+            addr,
+            pointer: true,
+        }
+    }
+
+    /// Creates a store.
+    pub const fn store(addr: Addr) -> Self {
+        Access::new(AccessKind::Store, addr)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Access::ifetch(Addr::new(1)).kind, AccessKind::IFetch);
+        assert_eq!(Access::load(Addr::new(1)).kind, AccessKind::Load);
+        assert_eq!(Access::store(Addr::new(1)).kind, AccessKind::Store);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Store.is_store());
+        assert!(!AccessKind::Load.is_store());
+        assert!(!AccessKind::IFetch.is_data());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Access::load(Addr::new(0x80)).to_string(), "load 0x80");
+        assert_eq!(Access::ifetch(Addr::new(0)).to_string(), "ifetch 0x0");
+    }
+}

@@ -1,0 +1,237 @@
+//! Byte and cache-line addressing.
+//!
+//! The paper works with 64-byte cache lines throughout (§4.1), and studies
+//! the sensitivity to larger lines at the end of §4.1. Addresses in this
+//! crate are plain 64-bit byte addresses; [`LineSize`] converts them to
+//! line addresses.
+
+use std::fmt;
+
+/// A 64-bit byte address in the simulated address space.
+///
+/// ```
+/// use execmig_trace::Addr;
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.raw(), 0x1234);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Wraps a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The address `bytes` bytes after `self` (wrapping).
+    pub const fn offset(self, bytes: u64) -> Self {
+        Addr(self.0.wrapping_add(bytes))
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> u64 {
+        a.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line address: a byte address shifted right by the line-size
+/// log2. Two byte addresses within the same line map to the same
+/// `LineAddr`.
+///
+/// ```
+/// use execmig_trace::{Addr, LineAddr, LineSize};
+/// let ls = LineSize::new(64).unwrap();
+/// assert_eq!(ls.line_of(Addr::new(64)), ls.line_of(Addr::new(127)));
+/// assert_ne!(ls.line_of(Addr::new(64)), ls.line_of(Addr::new(128)));
+/// assert_eq!(ls.line_of(Addr::new(128)), LineAddr::new(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Wraps a raw line number.
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// The raw line number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+}
+
+impl From<LineAddr> for u64 {
+    fn from(a: LineAddr) -> u64 {
+        a.0
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A power-of-two cache-line size in bytes.
+///
+/// ```
+/// use execmig_trace::LineSize;
+/// let ls = LineSize::new(64).unwrap();
+/// assert_eq!(ls.bytes(), 64);
+/// assert_eq!(ls.log2(), 6);
+/// assert!(LineSize::new(48).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineSize {
+    log2: u32,
+}
+
+impl LineSize {
+    /// The paper's line size: 64 bytes.
+    pub const DEFAULT: LineSize = LineSize { log2: 6 };
+
+    /// Creates a line size. Returns `None` unless `bytes` is a power of
+    /// two in `[8, 4096]`.
+    pub fn new(bytes: u64) -> Option<Self> {
+        if bytes.is_power_of_two() && (8..=4096).contains(&bytes) {
+            Some(LineSize {
+                log2: bytes.trailing_zeros(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The line size in bytes.
+    pub const fn bytes(self) -> u64 {
+        1 << self.log2
+    }
+
+    /// log2 of the line size.
+    pub const fn log2(self) -> u32 {
+        self.log2
+    }
+
+    /// The line containing byte address `addr`.
+    pub const fn line_of(self, addr: Addr) -> LineAddr {
+        LineAddr(addr.raw() >> self.log2)
+    }
+
+    /// The first byte address of `line`.
+    pub const fn base_of(self, line: LineAddr) -> Addr {
+        Addr(line.raw() << self.log2)
+    }
+
+    /// Number of lines needed to hold `bytes` bytes (rounded up).
+    pub const fn lines_for(self, bytes: u64) -> u64 {
+        bytes.div_ceil(1 << self.log2)
+    }
+}
+
+impl Default for LineSize {
+    fn default() -> Self {
+        LineSize::DEFAULT
+    }
+}
+
+impl fmt::Display for LineSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_roundtrip() {
+        let a = Addr::new(0xdead_beef);
+        assert_eq!(u64::from(a), 0xdead_beef);
+        assert_eq!(Addr::from(42u64), Addr::new(42));
+    }
+
+    #[test]
+    fn addr_offset_wraps() {
+        let a = Addr::new(u64::MAX);
+        assert_eq!(a.offset(1), Addr::new(0));
+    }
+
+    #[test]
+    fn line_size_rejects_non_pow2() {
+        assert!(LineSize::new(0).is_none());
+        assert!(LineSize::new(3).is_none());
+        assert!(LineSize::new(96).is_none());
+        assert!(LineSize::new(8192).is_none());
+        assert!(LineSize::new(4).is_none());
+    }
+
+    #[test]
+    fn line_size_accepts_pow2_range() {
+        for b in [8u64, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096] {
+            let ls = LineSize::new(b).unwrap();
+            assert_eq!(ls.bytes(), b);
+        }
+    }
+
+    #[test]
+    fn default_is_64_bytes() {
+        assert_eq!(LineSize::default().bytes(), 64);
+        assert_eq!(LineSize::DEFAULT.log2(), 6);
+    }
+
+    #[test]
+    fn line_of_and_base_of() {
+        let ls = LineSize::new(128).unwrap();
+        let line = ls.line_of(Addr::new(1000));
+        assert_eq!(line, LineAddr::new(7));
+        assert_eq!(ls.base_of(line), Addr::new(896));
+    }
+
+    #[test]
+    fn lines_for_rounds_up() {
+        let ls = LineSize::DEFAULT;
+        assert_eq!(ls.lines_for(0), 0);
+        assert_eq!(ls.lines_for(1), 1);
+        assert_eq!(ls.lines_for(64), 1);
+        assert_eq!(ls.lines_for(65), 2);
+        assert_eq!(ls.lines_for(1 << 20), 1 << 14);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(255).to_string(), "0xff");
+        assert_eq!(LineAddr::new(16).to_string(), "L0x10");
+        assert_eq!(LineSize::DEFAULT.to_string(), "64B");
+    }
+}

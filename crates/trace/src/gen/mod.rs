@@ -1,0 +1,61 @@
+//! Workload generator engines.
+//!
+//! Each engine models one memory-reference *structure* that the paper's
+//! analysis distinguishes:
+//!
+//! - [`CircularWorkload`] / [`HalfRandomWorkload`] — the abstract streams
+//!   of §3.3 used to characterise the affinity algorithm (Figure 3).
+//! - [`SweepWorkload`] — repeated sequential sweeps over large arrays
+//!   (swim, mgrid, art, ammp): circular behaviour at line granularity.
+//! - [`PointerRingWorkload`] — traversal of linked data structures in a
+//!   (mostly) stable order (mcf, em3d, health, bh, bisort, mst): circular
+//!   with scattered addresses plus optional random noise, growth, and
+//!   periodic re-linking.
+//! - [`HotRandomWorkload`] — random access within a hot region with
+//!   sequential runs and rare cold excursions (gzip, vpr, parser, twolf):
+//!   the paper's examples of streams with little or no "splittability".
+//! - [`BlockPhaseWorkload`] — repeated passes over one block, then a phase
+//!   change to the next block (bzip2).
+//! - [`CodeHeavyWorkload`] — a large instruction footprint walked with
+//!   limited loop reuse plus a data side (gcc, crafty, vortex).
+//!
+//! All engines are deterministic given their seed and share a fixed
+//! address-space layout: code at [`CODE_BASE`], data regions spaced 1 GiB
+//! apart from [`DATA_BASE`], so generators never alias each other's
+//! regions.
+
+mod abstracts;
+mod code;
+mod hot_random;
+mod phases;
+mod pointer;
+mod sweep;
+
+pub use abstracts::{CircularWorkload, HalfRandomWorkload};
+pub use code::{CodeHeavyWorkload, CodeHeavyParams, CodeFeed, CodeWalkParams};
+pub use hot_random::{HotRandomParams, HotRandomWorkload};
+pub use phases::{BlockPhaseParams, BlockPhaseWorkload};
+pub use pointer::{PointerRingParams, PointerRingWorkload, RingGrowth};
+pub use sweep::{SweepParams, SweepWorkload};
+
+/// Base byte address of the code segment.
+pub const CODE_BASE: u64 = 1 << 32;
+
+/// Base byte address of the first data region.
+pub const DATA_BASE: u64 = 1 << 33;
+
+/// Base byte address of data region `i` (regions are 1 GiB apart).
+pub const fn region_base(i: u64) -> u64 {
+    DATA_BASE + i * (1 << 30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap_code() {
+        assert!(region_base(0) > CODE_BASE + (1 << 30));
+        assert_eq!(region_base(1) - region_base(0), 1 << 30);
+    }
+}

@@ -1,0 +1,191 @@
+//! The [`Workload`] trait: a deterministic, effectively infinite stream of
+//! memory accesses with dynamic-instruction accounting.
+//!
+//! The paper reports every event count as *instructions per event*
+//! (Tables 1 and 2), so generators must account for the instructions
+//! retired between memory references, not just the references themselves.
+
+use crate::access::Access;
+
+/// A deterministic generator of memory accesses.
+///
+/// Implementations are infinite streams: `next_access` never ends. The
+/// caller decides when to stop, normally when [`instructions`] reaches a
+/// budget:
+///
+/// ```
+/// use execmig_trace::{suite, Workload};
+/// let mut w = suite::by_name("gzip").unwrap();
+/// let mut refs = 0u64;
+/// while w.instructions() < 10_000 {
+///     let _a = w.next_access();
+///     refs += 1;
+/// }
+/// assert!(refs > 0);
+/// ```
+///
+/// [`instructions`]: Workload::instructions
+pub trait Workload {
+    /// A short, stable identifier (e.g. `"art"`, `"circular"`).
+    fn name(&self) -> &str;
+
+    /// Produces the next access and advances the instruction counter by
+    /// however many instructions retire up to and including this access.
+    fn next_access(&mut self) -> Access;
+
+    /// Total dynamic instructions retired so far.
+    fn instructions(&self) -> u64;
+}
+
+/// A boxed, owned workload.
+pub type BoxedWorkload = Box<dyn Workload + Send>;
+
+impl Workload for BoxedWorkload {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn next_access(&mut self) -> Access {
+        (**self).next_access()
+    }
+
+    fn instructions(&self) -> u64 {
+        (**self).instructions()
+    }
+}
+
+/// Fixed-point accumulator that converts a fractional mean
+/// instructions-per-access into an exact deterministic integer sequence.
+///
+/// Means are expressed in 1/256ths of an instruction, so a mean of 2.5
+/// instructions is `InstrBudget::new(640)`.
+///
+/// ```
+/// use execmig_trace::workload::InstrBudget;
+/// let mut b = InstrBudget::new(640); // 2.5 instructions per access
+/// let total: u64 = (0..1000).map(|_| b.step()).sum();
+/// assert_eq!(total, 2500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstrBudget {
+    per_access_x256: u64,
+    acc_x256: u64,
+    total: u64,
+}
+
+impl InstrBudget {
+    /// Creates a budget with the given mean, in 1/256ths of an
+    /// instruction per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_access_x256 == 0`.
+    pub fn new(per_access_x256: u64) -> Self {
+        assert!(per_access_x256 > 0, "instructions per access must be > 0");
+        InstrBudget {
+            per_access_x256,
+            acc_x256: 0,
+            total: 0,
+        }
+    }
+
+    /// Convenience constructor from whole instructions per access.
+    pub fn per_access(n: u64) -> Self {
+        InstrBudget::new(n * 256)
+    }
+
+    /// Advances by one access; returns the integer number of instructions
+    /// charged for it.
+    pub fn step(&mut self) -> u64 {
+        self.acc_x256 += self.per_access_x256;
+        let instrs = self.acc_x256 >> 8;
+        self.acc_x256 &= 0xff;
+        self.total += instrs;
+        instrs
+    }
+
+    /// Charges extra instructions (e.g. for a computation-only phase).
+    pub fn charge(&mut self, instrs: u64) {
+        self.total += instrs;
+    }
+
+    /// Total instructions charged so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessKind;
+    use crate::addr::Addr;
+
+    struct Fixed {
+        n: u64,
+    }
+
+    impl Workload for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+
+        fn next_access(&mut self) -> Access {
+            self.n += 1;
+            Access::load(Addr::new(self.n * 64))
+        }
+
+        fn instructions(&self) -> u64 {
+            self.n * 2
+        }
+    }
+
+    #[test]
+    fn boxed_workload_delegates() {
+        let mut b: BoxedWorkload = Box::new(Fixed { n: 0 });
+        assert_eq!(b.name(), "fixed");
+        let a = b.next_access();
+        assert_eq!(a.kind, AccessKind::Load);
+        assert_eq!(b.instructions(), 2);
+    }
+
+    #[test]
+    fn instr_budget_integer_mean() {
+        let mut b = InstrBudget::per_access(3);
+        for _ in 0..10 {
+            assert_eq!(b.step(), 3);
+        }
+        assert_eq!(b.total(), 30);
+    }
+
+    #[test]
+    fn instr_budget_fractional_mean_exact() {
+        // 1.25 instructions per access: every 4th access charges 2.
+        let mut b = InstrBudget::new(320);
+        let seq: Vec<u64> = (0..8).map(|_| b.step()).collect();
+        assert_eq!(seq.iter().sum::<u64>(), 10);
+        assert_eq!(b.total(), 10);
+    }
+
+    #[test]
+    fn instr_budget_sub_one_mean() {
+        // 0.5 instructions per access: alternates 0, 1.
+        let mut b = InstrBudget::new(128);
+        let total: u64 = (0..1000).map(|_| b.step()).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn instr_budget_charge_adds() {
+        let mut b = InstrBudget::per_access(1);
+        b.step();
+        b.charge(100);
+        assert_eq!(b.total(), 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be > 0")]
+    fn instr_budget_zero_panics() {
+        InstrBudget::new(0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Watch the migration controller learn: a windowed timeline of L2
+//! misses, migrations, and the active core.
+//!
+//! Run with: `cargo run --release --example migration_timeline -- [bench] [instr]`
+
+use execution_migration::machine::timeline::record;
+use execution_migration::machine::{Machine, MachineConfig};
+use execution_migration::trace::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args.first().map(String::as_str).unwrap_or("art");
+    let instructions: u64 = args
+        .get(1)
+        .map(|s| s.parse().expect("instruction count"))
+        .unwrap_or(20_000_000);
+    if suite::info(bench).is_none() {
+        eprintln!("unknown benchmark {bench:?}; choose one of {:?}", suite::names());
+        std::process::exit(1);
+    }
+
+    let window = instructions / 40;
+    let mut machine = Machine::new(MachineConfig::four_core_migration());
+    let mut workload = suite::by_name(bench).unwrap();
+    let samples = record(&mut machine, &mut *workload, instructions, window);
+
+    println!("{bench}: {} windows of {} instructions", samples.len(), window);
+    println!("window  core  migrations  L2 misses/kinstr");
+    let max_density = samples
+        .iter()
+        .map(|s| s.l2_miss_density(window))
+        .fold(1e-9, f64::max);
+    for (i, s) in samples.iter().enumerate() {
+        let density = s.l2_miss_density(window);
+        let bar_len = (density / max_density * 40.0).round() as usize;
+        println!(
+            "{i:>5}    C{}  {:>9}  {:>8.2} |{}|",
+            s.active_core,
+            s.migrations,
+            density,
+            "#".repeat(bar_len)
+        );
+    }
+    println!(
+        "\ntotal: {} migrations, {} L2 misses over {} M instructions",
+        machine.stats().migrations,
+        machine.stats().l2_misses,
+        instructions / 1_000_000
+    );
+    println!("(on splittable benchmarks the bars collapse once the split settles)");
+}

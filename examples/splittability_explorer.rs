@@ -1,0 +1,55 @@
+//! Splittability explorer: compute the Figure 4/5 stack profiles for a
+//! benchmark and report whether execution migration could help it.
+//!
+//! Run with: `cargo run --release --example splittability_explorer -- [bench] [instr]`
+
+use execution_migration::experiments::fig45::{run_benchmark, Fig45Config};
+use execution_migration::trace::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args.first().map(String::as_str).unwrap_or("ammp");
+    let instructions: u64 = args
+        .get(1)
+        .map(|s| s.parse().expect("instruction count"))
+        .unwrap_or(20_000_000);
+
+    if suite::info(bench).is_none() {
+        eprintln!("unknown benchmark {bench:?}; choose one of {:?}", suite::names());
+        std::process::exit(1);
+    }
+    println!("stack profiles for {bench} over {} M instructions", instructions / 1_000_000);
+    println!("p1 = single LRU stack, p4 = 4-way affinity split (lower is better)\n");
+
+    let row = run_benchmark(bench, &Fig45Config::paper(instructions));
+    println!("   size      p1      p4   ");
+    for &(bytes, p1, p4) in &row.points {
+        // A terminal bar chart: '#' for p1, overlay '*' where p4 reaches.
+        let width = 40usize;
+        let b1 = (p1 * width as f64).round() as usize;
+        let b4 = (p4 * width as f64).round() as usize;
+        let bar: String = (0..width)
+            .map(|i| match (i < b4, i < b1) {
+                (true, _) => '*',
+                (false, true) => '#',
+                _ => ' ',
+            })
+            .collect();
+        let label = if bytes >= 1 << 20 {
+            format!("{:>4}M", bytes >> 20)
+        } else {
+            format!("{:>4}k", bytes >> 10)
+        };
+        println!("{label}   {p1:.3}   {p4:.3}  |{bar}|");
+    }
+    println!(
+        "\ntransition rate: {:.4} per stack access (paper max: 1.34% on vpr)",
+        row.transition_rate
+    );
+    println!("mean p1-p4 gap: {:+.3}", row.split_gain);
+    if row.split_gain > 0.05 {
+        println!("=> splittable: execution migration can trade migrations for L2 misses");
+    } else {
+        println!("=> not splittable: expect no benefit from execution migration");
+    }
+}

@@ -1,0 +1,76 @@
+//! Golden determinism tests: exact event counts for fixed seeds and
+//! budgets. These pin the whole stack — generators, caches, affinity
+//! arithmetic, coherence — so any unintended behavioural change fails
+//! loudly. If a change is *intended* (e.g. retuning a workload), update
+//! the constants and note it in CHANGELOG.md.
+
+use execution_migration::core::{Splitter2, SplitterConfig};
+use execution_migration::machine::{Machine, MachineConfig};
+use execution_migration::trace::{suite, Workload};
+
+/// Snapshot of one machine run.
+fn run(name: &str, config: MachineConfig, instructions: u64) -> (u64, u64, u64, u64) {
+    let mut m = Machine::new(config);
+    let mut w = suite::by_name(name).unwrap();
+    m.run(&mut *w, instructions);
+    let s = m.stats();
+    (s.dl1_misses, s.l2_misses, s.migrations, s.l3_writebacks)
+}
+
+#[test]
+fn golden_art_baseline() {
+    let (dl1, l2, mig, wb) = run("art", MachineConfig::single_core(), 2_000_000);
+    assert_eq!((dl1, l2, mig), (227453, 199751, 0));
+    assert!(wb > 0);
+}
+
+#[test]
+fn golden_art_migration() {
+    let (dl1, l2, mig, _) = run("art", MachineConfig::four_core_migration(), 2_000_000);
+    // The DL1 side is identical to the baseline by construction (L1
+    // mirroring): same stream, same (shared) L1.
+    assert_eq!(dl1, 227453);
+    // The L2 and migration counts are pinned to the exact algorithm.
+    assert_eq!((l2, mig), (143089, 31));
+}
+
+#[test]
+fn golden_mcf_migration() {
+    let (_, l2, mig, _) = run("mcf", MachineConfig::four_core_migration(), 2_000_000);
+    assert_eq!((l2, mig), (476485, 584));
+}
+
+#[test]
+fn golden_splitter_circular() {
+    let mut s = Splitter2::new(SplitterConfig {
+        r_window: 100,
+        ..SplitterConfig::default()
+    });
+    for t in 0..500_000u64 {
+        s.on_reference(t % 4000);
+    }
+    let st = s.stats();
+    assert_eq!(st.references, 500_000);
+    assert_eq!(st.transitions, 249);
+}
+
+#[test]
+fn golden_workload_streams() {
+    // First data-access line of each benchmark is stable.
+    let expected: &[(&str, u64)] = &[
+        ("gzip", 0x2_0002_dec0),
+        ("art", 0x2_0000_0000),
+        ("mcf", 0x2_0015_8fc0),
+        ("bh", 0x2_0002_2c80),
+    ];
+    for &(name, addr) in expected {
+        let mut w = suite::by_name(name).unwrap();
+        let first_data = loop {
+            let a = w.next_access();
+            if a.kind.is_data() {
+                break a.addr.raw();
+            }
+        };
+        assert_eq!(first_data, addr, "{name} first data access moved");
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration tests asserting the paper's headline claims reproduce,
+//! at reduced (CI-friendly) instruction budgets.
+
+use execution_migration::experiments::{fig3, fig45, table2};
+use execution_migration::machine::perf::break_even_pmig;
+use execution_migration::machine::{Machine, MachineConfig};
+use execution_migration::trace::suite;
+
+/// §3.3 / Figure 3: Circular(4000) with |R| = 100 reaches the optimal
+/// split — one transition every 2000 references — and a balanced sign
+/// distribution.
+#[test]
+fn fig3_circular_reaches_optimal_split() {
+    let result = fig3::run(fig3::Fig3Config::circular());
+    let last = result.snapshots.last().unwrap();
+    assert!((0.4..=0.6).contains(&last.positive_fraction));
+    assert!(
+        (last.transition_rate - 0.0005).abs() < 0.0005,
+        "rate {}",
+        last.transition_rate
+    );
+}
+
+/// §3.3 / Figure 3: HalfRandom(300) transitions about once per burst.
+#[test]
+fn fig3_half_random_transitions_once_per_burst() {
+    let result = fig3::run(fig3::Fig3Config::half_random());
+    let last = result.snapshots.last().unwrap();
+    assert!(
+        (last.transition_rate - 1.0 / 300.0).abs() < 1.5 / 300.0,
+        "rate {}",
+        last.transition_rate
+    );
+}
+
+/// §4.1 / Figures 4-5: the splittable/unsplittable classification —
+/// art, ammp, em3d, health show a clear p1-p4 gap; gzip, vpr do not.
+#[test]
+fn fig45_splittability_classification() {
+    let config = fig45::Fig45Config::paper(8_000_000);
+    for name in ["art", "ammp", "em3d"] {
+        let r = fig45::run_benchmark(name, &config);
+        assert!(r.split_gain > 0.05, "{name} gain {}", r.split_gain);
+    }
+    for name in ["gzip", "vpr"] {
+        let r = fig45::run_benchmark(name, &config);
+        assert!(r.split_gain.abs() < 0.08, "{name} gain {}", r.split_gain);
+    }
+}
+
+/// §4.1: the transition frequency remains low in all cases — the
+/// paper's worst is 1.34 % (vpr).
+#[test]
+fn fig45_transition_frequency_remains_low() {
+    let config = fig45::Fig45Config::paper(4_000_000);
+    for name in ["gzip", "vpr", "mcf", "art", "bh"] {
+        let r = fig45::run_benchmark(name, &config);
+        assert!(
+            r.transition_rate < 0.05,
+            "{name}: transition rate {}",
+            r.transition_rate
+        );
+    }
+}
+
+/// §4.2 / Table 2: the strong improvers improve and the degraders
+/// degrade (moderate budget; the full sweep is in the table2 binary).
+#[test]
+fn table2_headline_rows() {
+    let improver = table2::run_benchmark("art", 20_000_000);
+    assert!(improver.ratio < 0.3, "art ratio {}", improver.ratio);
+    let degrader = table2::run_benchmark("bh", 30_000_000);
+    assert!(degrader.ratio > 1.1, "bh ratio {}", degrader.ratio);
+    let neutral = table2::run_benchmark("mst", 10_000_000);
+    assert!(
+        (0.95..=1.05).contains(&neutral.ratio),
+        "mst ratio {}",
+        neutral.ratio
+    );
+}
+
+/// §4.2: "In all cases, the frequency of migrations is kept under
+/// control" — no benchmark migrates more often than once per ~500
+/// instructions.
+#[test]
+fn table2_migration_frequency_under_control() {
+    for name in ["art", "em3d", "gzip", "swim"] {
+        let r = table2::run_benchmark(name, 10_000_000);
+        assert!(
+            r.migration_ipe > 500.0,
+            "{name}: migration every {} instructions",
+            r.migration_ipe
+        );
+    }
+}
+
+/// §4.2's mcf argument: migration removes many L2 misses per migration,
+/// so a positive break-even P_mig exists.
+#[test]
+fn break_even_pmig_positive_for_improvers() {
+    for name in ["art", "health"] {
+        let mut baseline = Machine::new(MachineConfig::single_core());
+        let mut w = suite::by_name(name).unwrap();
+        baseline.run(&mut *w, 15_000_000);
+        let mut migration = Machine::new(MachineConfig::four_core_migration());
+        let mut w = suite::by_name(name).unwrap();
+        migration.run(&mut *w, 15_000_000);
+        let be = break_even_pmig(baseline.stats(), migration.stats())
+            .unwrap_or_else(|| panic!("{name} made no migrations"));
+        assert!(be > 5.0, "{name}: break-even P_mig {be}");
+    }
+}
+
+/// The suite metadata's expected outcomes stay in sync with what the
+/// simulator actually produces for a representative subset.
+#[test]
+fn suite_outcomes_match_simulation() {
+    use execution_migration::trace::suite::PaperOutcome;
+    for (name, budget) in [("em3d", 20_000_000u64), ("vpr", 30_000_000)] {
+        let info = suite::info(name).unwrap();
+        let r = table2::run_benchmark(name, budget);
+        match info.paper_outcome {
+            PaperOutcome::Improves => {
+                assert!(r.ratio < 0.9, "{name} ratio {}", r.ratio)
+            }
+            PaperOutcome::Neutral => {
+                assert!((0.9..=1.05).contains(&r.ratio), "{name} ratio {}", r.ratio)
+            }
+            PaperOutcome::Degrades => {
+                assert!(r.ratio > 1.02, "{name} ratio {}", r.ratio)
+            }
+        }
+    }
+}

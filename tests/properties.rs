@@ -1,0 +1,251 @@
+//! Property-based integration tests over the core data structures and
+//! their cross-crate composition.
+
+use execution_migration::cache::{Cache, CacheConfig, FullyAssocLru, LruStack, StackProfile};
+use execution_migration::core::{
+    sampler, AffinityTable, Sampler, SkewedAffinityCache, Splitter2, SplitterConfig,
+    UnboundedAffinityTable,
+};
+use execution_migration::trace::LineAddr;
+use proptest::prelude::*;
+
+proptest! {
+    /// Mattson's inclusion property: a reference hits a fully-assoc LRU
+    /// cache of capacity C exactly when its stack depth is <= C.
+    #[test]
+    fn stack_depth_predicts_lru_hits(
+        lines in proptest::collection::vec(0u64..200, 1..2000),
+        capacity in 1usize..64,
+    ) {
+        let mut stack = LruStack::new();
+        let mut cache = FullyAssocLru::new(capacity);
+        for &line in &lines {
+            let depth = stack.access(line);
+            let hit = cache.access(line);
+            let predicted = matches!(depth, Some(d) if d <= capacity as u64);
+            prop_assert_eq!(hit, predicted, "line {} depth {:?}", line, depth);
+        }
+    }
+
+    /// Stack depths are positive and bounded by the number of distinct
+    /// lines seen so far.
+    #[test]
+    fn stack_depth_bounds(lines in proptest::collection::vec(0u64..500, 1..3000)) {
+        let mut stack = LruStack::new();
+        for &line in &lines {
+            let before = stack.distinct_lines() as u64;
+            if let Some(d) = stack.access(line) {
+                prop_assert!(d >= 1);
+                prop_assert!(d <= before, "depth {} > distinct {}", d, before);
+            }
+        }
+    }
+
+    /// A set-associative cache never exceeds its frame count, and a
+    /// resident line is always found again immediately.
+    #[test]
+    fn cache_occupancy_bounded(
+        lines in proptest::collection::vec(0u64..10_000, 1..2000),
+        ways in 1u32..8,
+    ) {
+        let config = CacheConfig::set_associative(4 << 10, ways, 64);
+        // Only valid geometries: sets must be a power of two.
+        prop_assume!(config.sets().is_power_of_two() && config.sets() > 0);
+        let mut c = Cache::new(config);
+        for &l in &lines {
+            let line = LineAddr::new(l);
+            c.fill(line, false);
+            prop_assert!(c.contains(line));
+        }
+        prop_assert!(c.occupancy() <= config.frames());
+    }
+
+    /// Skewed and modulo caches agree on hit/miss for streams that fit
+    /// entirely (no evictions -> indexing is irrelevant).
+    #[test]
+    fn small_working_sets_always_hit(lines in proptest::collection::vec(0u64..16, 1..500)) {
+        for config in [
+            CacheConfig::set_associative(16 << 10, 4, 64),
+            CacheConfig::skewed(16 << 10, 4, 64),
+        ] {
+            let mut c = Cache::new(config);
+            for l in 0u64..16 {
+                c.fill(LineAddr::new(l), false);
+            }
+            for &l in &lines {
+                prop_assert!(c.lookup(LineAddr::new(l)), "{:?} lost line {}", config.indexing, l);
+            }
+        }
+    }
+
+    /// The carry-save mod-31 hash equals the remainder for all inputs.
+    #[test]
+    fn mod31_blocks_is_mod31(e in any::<u64>()) {
+        prop_assert_eq!(sampler::mod31_blocks(e), e % 31);
+    }
+
+    /// Sampling thresholds partition lines consistently: a line sampled
+    /// at threshold t is sampled at every t' > t.
+    #[test]
+    fn sampling_is_monotone(line in any::<u64>(), t in 1u64..31) {
+        let low = Sampler::new(t);
+        let high = Sampler::new(t + 1);
+        if low.is_sampled(line) {
+            prop_assert!(high.is_sampled(line));
+        }
+    }
+
+    /// Affinity tables: what you write is what you read back (unbounded
+    /// always, finite until evicted — here sized to fit).
+    #[test]
+    fn affinity_table_roundtrip(
+        writes in proptest::collection::vec((0u64..64, -32768i64..=32767), 1..200),
+    ) {
+        let mut unbounded = UnboundedAffinityTable::new();
+        let mut skewed = SkewedAffinityCache::new(256, 4);
+        for &(line, v) in &writes {
+            unbounded.write(line, v);
+            skewed.write(line, v);
+        }
+        // Last write wins.
+        let mut last = std::collections::HashMap::new();
+        for &(line, v) in &writes {
+            last.insert(line, v);
+        }
+        for (&line, &v) in &last {
+            prop_assert_eq!(unbounded.peek(line), Some(v));
+            prop_assert_eq!(skewed.peek(line), Some(v));
+        }
+    }
+
+    /// The splitter's affinities always stay within the configured
+    /// width, whatever the reference stream.
+    #[test]
+    fn splitter_affinities_within_width(
+        refs in proptest::collection::vec(0u64..1000, 100..3000),
+        bits in 4u32..17,
+    ) {
+        let mut s = Splitter2::new(SplitterConfig {
+            affinity_bits: bits,
+            r_window: 32,
+            ..SplitterConfig::default()
+        });
+        for &e in &refs {
+            s.on_reference(e);
+        }
+        let (lo, hi) = execution_migration::core::sat::range(bits);
+        for e in 0..1000 {
+            if let Some(a) = s.affinity_of(e) {
+                prop_assert!((lo..=hi).contains(&a), "A_{} = {}", e, a);
+            }
+        }
+    }
+
+    /// Transition counts never exceed reference counts.
+    #[test]
+    fn transitions_bounded_by_references(refs in proptest::collection::vec(0u64..100, 1..2000)) {
+        let mut s = Splitter2::new(SplitterConfig {
+            r_window: 16,
+            filter_bits: Some(12),
+            ..SplitterConfig::default()
+        });
+        for &e in &refs {
+            s.on_reference(e);
+        }
+        let st = s.stats();
+        prop_assert!(st.transitions <= st.references);
+        prop_assert_eq!(st.references, refs.len() as u64);
+    }
+
+    /// Stack profiles: `frac_deeper_than` is monotone non-increasing in
+    /// x and bounded by [0, 1].
+    #[test]
+    fn profile_monotone(depths in proptest::collection::vec(
+        proptest::option::of(1u64..100_000), 1..500,
+    )) {
+        let mut p = StackProfile::new(1 << 17);
+        for d in &depths {
+            p.record(*d);
+        }
+        let mut prev = 1.0f64;
+        for x in (0..18).map(|i| 1u64 << i) {
+            let f = p.frac_deeper_than(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+
+    /// Machine invariants hold for arbitrary access sequences: every L2
+    /// miss is served exactly once, DL1 misses never exceed data
+    /// accesses, and the run is insensitive to core count when no
+    /// controller is configured.
+    #[test]
+    fn machine_invariants_on_random_streams(
+        ops in proptest::collection::vec((0u8..3, 0u64..4096), 10..800),
+    ) {
+        use execution_migration::machine::{Machine, MachineConfig};
+        use execution_migration::trace::{AccessKind, LineAddr};
+        let mut m = Machine::new(MachineConfig::single_core());
+        for (i, &(kind, line)) in ops.iter().enumerate() {
+            let kind = match kind {
+                0 => AccessKind::IFetch,
+                1 => AccessKind::Load,
+                _ => AccessKind::Store,
+            };
+            m.step(kind, LineAddr::new(line), (i + 1) as u64);
+        }
+        let s = m.stats();
+        prop_assert_eq!(s.accesses, ops.len() as u64);
+        prop_assert_eq!(s.l2_to_l2_forwards + s.l3_fetches, s.l2_misses);
+        prop_assert!(s.dl1_misses + s.il1_misses <= s.accesses);
+        prop_assert!(s.l2_misses <= s.l2_accesses);
+        prop_assert_eq!(s.migrations, 0);
+    }
+
+    /// The binary trace format round-trips arbitrary access sequences
+    /// exactly, including pointer flags and instruction counts.
+    #[test]
+    fn trace_io_roundtrip(
+        ops in proptest::collection::vec((0u8..4, any::<u64>(), 0u64..100), 1..300),
+    ) {
+        use execution_migration::trace::{Access, Addr, TraceReader, TraceWriter, Workload};
+        let mut writer = TraceWriter::new(Vec::new()).unwrap();
+        let mut instr = 0u64;
+        let mut expected = Vec::new();
+        for &(kind, addr, dinstr) in &ops {
+            let access = match kind {
+                0 => Access::ifetch(Addr::new(addr)),
+                1 => Access::load(Addr::new(addr)),
+                2 => Access::pointer_load(Addr::new(addr)),
+                _ => Access::store(Addr::new(addr)),
+            };
+            instr += dinstr;
+            writer.record(access, instr).unwrap();
+            expected.push((access, instr));
+        }
+        let buf = writer.finish().unwrap();
+        let mut reader = TraceReader::new(&buf[..]).unwrap();
+        for (access, instr) in expected {
+            prop_assert!(!reader.is_finished());
+            prop_assert_eq!(reader.next_access(), access);
+            prop_assert_eq!(reader.instructions(), instr);
+        }
+        prop_assert!(reader.is_finished());
+    }
+
+    /// The 8-way splitter tree designates subsets in range and counts
+    /// transitions consistently for any stream.
+    #[test]
+    fn tree_subsets_in_range(refs in proptest::collection::vec(0u64..5000, 1..2000)) {
+        use execution_migration::core::{SplitterTree, SplitterTreeConfig};
+        let mut t = SplitterTree::new(SplitterTreeConfig::default());
+        for &e in &refs {
+            let subset = t.on_reference(e);
+            prop_assert!(subset < t.subsets());
+        }
+        let st = t.stats();
+        prop_assert_eq!(st.references, refs.len() as u64);
+        prop_assert!(st.transitions <= st.references);
+    }
+}
