@@ -2,12 +2,12 @@
 //! budgets (R-window sweep point, filter-width point, protocol
 //! penalty simulation).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use execmig_bench::harness::Runner;
 use execmig_experiments::ablations::{filter, rwindow};
 use execmig_machine::{MigrationProtocol, PipelineConfig};
 use std::hint::black_box;
 
-fn bench_rwindow_point(c: &mut Criterion) {
+fn bench_rwindow_point(c: &mut Runner) {
     let mut g = c.benchmark_group("ablation_rwindow");
     g.sample_size(10);
     g.bench_function("circular_point/200k_refs", |b| {
@@ -16,7 +16,7 @@ fn bench_rwindow_point(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_filter_point(c: &mut Criterion) {
+fn bench_filter_point(c: &mut Runner) {
     let mut g = c.benchmark_group("ablation_filter");
     g.sample_size(10);
     g.bench_function("random_point/200k_refs", |b| {
@@ -25,9 +25,9 @@ fn bench_filter_point(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_protocol(c: &mut Criterion) {
+fn bench_protocol(c: &mut Runner) {
     let mut g = c.benchmark_group("migration_protocol");
-    g.throughput(Throughput::Elements(1));
+    g.throughput(1);
     g.bench_function("simulate_migration", |b| {
         let mut p = MigrationProtocol::new(PipelineConfig::default(), 17);
         b.iter(|| black_box(p.simulate_migration()));
@@ -35,5 +35,10 @@ fn bench_protocol(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_rwindow_point, bench_filter_point, bench_protocol);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_env();
+    bench_rwindow_point(&mut c);
+    bench_filter_point(&mut c);
+    bench_protocol(&mut c);
+    c.finish();
+}

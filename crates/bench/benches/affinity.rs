@@ -3,7 +3,7 @@
 //! 4-way splitter. These bound the simulated migration controller's
 //! per-L1-miss cost.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use execmig_bench::harness::Runner;
 use execmig_bench::LineStream;
 use execmig_core::{
     Mechanism, MechanismConfig, Sampler, SkewedAffinityCache, Splitter2, Splitter4,
@@ -11,9 +11,9 @@ use execmig_core::{
 };
 use std::hint::black_box;
 
-fn bench_mechanism(c: &mut Criterion) {
+fn bench_mechanism(c: &mut Runner) {
     let mut g = c.benchmark_group("mechanism");
-    g.throughput(Throughput::Elements(1));
+    g.throughput(1);
 
     g.bench_function("on_reference/unbounded_table", |b| {
         let mut m = Mechanism::new(MechanismConfig::default());
@@ -38,9 +38,9 @@ fn bench_mechanism(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_splitters(c: &mut Criterion) {
+fn bench_splitters(c: &mut Runner) {
     let mut g = c.benchmark_group("splitter");
-    g.throughput(Throughput::Elements(1));
+    g.throughput(1);
 
     g.bench_function("splitter2/circular", |b| {
         let mut s = Splitter2::new(SplitterConfig {
@@ -72,10 +72,10 @@ fn bench_splitters(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_controller(c: &mut Criterion) {
+fn bench_controller(c: &mut Runner) {
     use execmig_core::{ControllerConfig, MigrationController};
     let mut g = c.benchmark_group("controller");
-    g.throughput(Throughput::Elements(1));
+    g.throughput(1);
 
     g.bench_function("paper_4core/per_request", |b| {
         b.iter_batched_ref(
@@ -90,11 +90,15 @@ fn bench_controller(c: &mut Criterion) {
                     black_box(mc.on_request(lines.next_line(), true));
                 }
             },
-            BatchSize::SmallInput,
         );
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_mechanism, bench_splitters, bench_controller);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_env();
+    bench_mechanism(&mut c);
+    bench_splitters(&mut c);
+    bench_controller(&mut c);
+    c.finish();
+}

@@ -1,18 +1,21 @@
 //! Cache-substrate throughput: these dominate the simulator's run time
 //! (every access touches an L1; every L1 miss touches L2s and stacks).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use execmig_bench::harness::Runner;
 use execmig_bench::LineStream;
 use execmig_cache::{Cache, CacheConfig, FullyAssocLru, LruStack};
 use execmig_trace::LineAddr;
 use std::hint::black_box;
 
-fn bench_set_assoc(c: &mut Criterion) {
+fn bench_set_assoc(c: &mut Runner) {
     let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1));
+    g.throughput(1);
 
     for (label, config) in [
-        ("modulo_512k_4w", CacheConfig::set_associative(512 << 10, 4, 64)),
+        (
+            "modulo_512k_4w",
+            CacheConfig::set_associative(512 << 10, 4, 64),
+        ),
         ("skewed_512k_4w", CacheConfig::skewed(512 << 10, 4, 64)),
     ] {
         g.bench_function(format!("lookup_fill/{label}"), |b| {
@@ -36,9 +39,9 @@ fn bench_set_assoc(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_fully_assoc(c: &mut Criterion) {
+fn bench_fully_assoc(c: &mut Runner) {
     let mut g = c.benchmark_group("fully_assoc_lru");
-    g.throughput(Throughput::Elements(1));
+    g.throughput(1);
     g.bench_function("access/256_lines", |b| {
         let mut cache = FullyAssocLru::new(256);
         let mut lines = LineStream::new(9, 10);
@@ -47,9 +50,9 @@ fn bench_fully_assoc(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_stack(c: &mut Criterion) {
+fn bench_stack(c: &mut Runner) {
     let mut g = c.benchmark_group("lru_stack");
-    g.throughput(Throughput::Elements(1));
+    g.throughput(1);
     for bits in [10u32, 16, 18] {
         g.bench_function(format!("access/{}_distinct_lines", 1u64 << bits), |b| {
             let mut stack = LruStack::new();
@@ -63,5 +66,10 @@ fn bench_stack(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_set_assoc, bench_fully_assoc, bench_stack);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_env();
+    bench_set_assoc(&mut c);
+    bench_fully_assoc(&mut c);
+    bench_stack(&mut c);
+    c.finish();
+}

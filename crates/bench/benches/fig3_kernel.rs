@@ -2,7 +2,7 @@
 //! streams, measured end to end (workload generation + Figure 2
 //! datapath) at a reduced reference budget.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use execmig_bench::harness::Runner;
 use execmig_core::{Splitter2, SplitterConfig};
 use execmig_trace::gen::{CircularWorkload, HalfRandomWorkload};
 use execmig_trace::Workload;
@@ -10,9 +10,9 @@ use std::hint::black_box;
 
 const REFS: u64 = 100_000;
 
-fn bench_fig3(c: &mut Criterion) {
+fn bench_fig3(c: &mut Runner) {
     let mut g = c.benchmark_group("fig3");
-    g.throughput(Throughput::Elements(REFS));
+    g.throughput(REFS);
     g.sample_size(20);
 
     g.bench_function("circular_4000_r100/100k_refs", |b| {
@@ -33,7 +33,6 @@ fn bench_fig3(c: &mut Criterion) {
                     black_box(s.on_reference(e));
                 }
             },
-            BatchSize::LargeInput,
         );
     });
 
@@ -55,11 +54,13 @@ fn bench_fig3(c: &mut Criterion) {
                     black_box(s.on_reference(e));
                 }
             },
-            BatchSize::LargeInput,
         );
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_env();
+    bench_fig3(&mut c);
+    c.finish();
+}

@@ -1,16 +1,16 @@
 //! Figures 4-5 kernel: the stack-profile pipeline (L1 filter → single
 //! stack + 4-way affinity-split stacks) at a reduced budget.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use execmig_bench::harness::Runner;
 use execmig_experiments::fig45::{run_workload, Fig45Config};
 use execmig_trace::suite;
 use std::hint::black_box;
 
 const INSTRS: u64 = 1_000_000;
 
-fn bench_fig45(c: &mut Criterion) {
+fn bench_fig45(c: &mut Runner) {
     let mut g = c.benchmark_group("fig45");
-    g.throughput(Throughput::Elements(INSTRS));
+    g.throughput(INSTRS);
     g.sample_size(10);
 
     for name in ["art", "vpr"] {
@@ -19,12 +19,14 @@ fn bench_fig45(c: &mut Criterion) {
             b.iter_batched_ref(
                 || suite::by_name(name).expect("suite benchmark"),
                 |w| black_box(run_workload(name, &mut **w, &config)),
-                BatchSize::LargeInput,
             );
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_fig45);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_env();
+    bench_fig45(&mut c);
+    c.finish();
+}

@@ -1,7 +1,7 @@
 //! Table 1 kernel: workload generation plus the 16 KB fully-associative
 //! L1 filter, per benchmark class.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use execmig_bench::harness::Runner;
 use execmig_bench::workload;
 use execmig_experiments::l1filter::L1Filter;
 use execmig_trace::{LineSize, Workload};
@@ -9,9 +9,9 @@ use std::hint::black_box;
 
 const INSTRS: u64 = 500_000;
 
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1(c: &mut Runner) {
     let mut g = c.benchmark_group("table1");
-    g.throughput(Throughput::Elements(INSTRS));
+    g.throughput(INSTRS);
     g.sample_size(10);
 
     // One representative per generator engine.
@@ -24,12 +24,14 @@ fn bench_table1(c: &mut Criterion) {
                         black_box(filter.filter(w.next_access()));
                     }
                 },
-                BatchSize::LargeInput,
             );
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_env();
+    bench_table1(&mut c);
+    c.finish();
+}

@@ -1,16 +1,16 @@
 //! Table 2 kernel: the full machine (caches + coherence + controller)
 //! per simulated instruction, baseline vs migration mode.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use execmig_bench::harness::Runner;
 use execmig_bench::workload;
 use execmig_machine::{Machine, MachineConfig};
 use std::hint::black_box;
 
 const INSTRS: u64 = 1_000_000;
 
-fn bench_table2(c: &mut Criterion) {
+fn bench_table2(c: &mut Runner) {
     let mut g = c.benchmark_group("table2");
-    g.throughput(Throughput::Elements(INSTRS));
+    g.throughput(INSTRS);
     g.sample_size(10);
 
     for name in ["art", "gzip"] {
@@ -21,7 +21,6 @@ fn bench_table2(c: &mut Criterion) {
                     m.run(&mut **w, INSTRS);
                     black_box(m.stats().l2_misses)
                 },
-                BatchSize::LargeInput,
             );
         });
         g.bench_function(format!("migration/{name}/1M_instr"), |b| {
@@ -36,12 +35,14 @@ fn bench_table2(c: &mut Criterion) {
                     m.run(&mut **w, INSTRS);
                     black_box(m.stats().migrations)
                 },
-                BatchSize::LargeInput,
             );
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_env();
+    bench_table2(&mut c);
+    c.finish();
+}

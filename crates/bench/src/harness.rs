@@ -1,0 +1,328 @@
+//! A small benchmark harness for `harness = false` bench targets.
+//!
+//! Mirrors the slice of the Criterion API the benches use —
+//! `benchmark_group` / `throughput` / `sample_size` / `bench_function`
+//! with `Bencher::iter` and `Bencher::iter_batched_ref` — on top of a
+//! calibrated measurement loop: `iter` doubles the batch size until one
+//! batch runs ≥ 1 ms, then times `sample_size` batches; batched
+//! benchmarks time one (internally looping) routine call per sample.
+//! Reported figures are the median, minimum, and p90 ns/iteration.
+//!
+//! Runner arguments: a bare substring filters benchmark ids, `--quick`
+//! cuts the sample count for smoke runs, `--json` prints the results
+//! as a JSON array (via `execmig-obs`) after the human-readable lines.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use execmig_obs::ToJson;
+
+/// One benchmark's summary statistics.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median ns per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// 90th-percentile sample, ns per iteration.
+    pub p90_ns: f64,
+    /// Samples measured.
+    pub samples: usize,
+    /// Elements processed per iteration (for throughput).
+    pub elements_per_iter: u64,
+}
+
+execmig_obs::impl_to_json!(BenchResult {
+    id,
+    median_ns,
+    min_ns,
+    p90_ns,
+    samples,
+    elements_per_iter
+});
+
+impl BenchResult {
+    /// Elements per second at the median.
+    pub fn elements_per_second(&self) -> f64 {
+        if self.median_ns <= 0.0 {
+            return 0.0;
+        }
+        self.elements_per_iter as f64 * 1e9 / self.median_ns
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} Gelem/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.1} Melem/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1} kelem/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.0} elem/s")
+    }
+}
+
+/// Top-level bench driver: parses arguments, owns the results.
+#[derive(Debug)]
+pub struct Runner {
+    filter: Option<String>,
+    quick: bool,
+    json: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Runner {
+    /// A runner configured from the process arguments.
+    pub fn from_env() -> Runner {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Runner {
+            // cargo may append harness flags; any non-flag is a filter.
+            filter: args.iter().find(|a| !a.starts_with('-')).cloned(),
+            quick: args.iter().any(|a| a == "--quick")
+                || std::env::var_os("EXECMIG_BENCH_QUICK").is_some(),
+            json: args.iter().any(|a| a == "--json"),
+            results: Vec::new(),
+        }
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            runner: self,
+            name: name.to_string(),
+            throughput: 1,
+            sample_size: 20,
+        }
+    }
+
+    /// Prints the JSON tail (when `--json`) and drops the runner.
+    pub fn finish(self) {
+        if self.json {
+            println!("{}", self.results.to_json().pretty());
+        }
+    }
+
+    /// Results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing throughput and sample count.
+#[derive(Debug)]
+pub struct Group<'a> {
+    runner: &'a mut Runner,
+    name: String,
+    throughput: u64,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Declares how many elements one iteration processes.
+    pub fn throughput(&mut self, elements_per_iter: u64) {
+        self.throughput = elements_per_iter;
+    }
+
+    /// Sets the number of measured samples (default 20).
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(3);
+    }
+
+    /// Measures one benchmark; `f` drives the [`Bencher`].
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnOnce(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, name.as_ref());
+        if let Some(filter) = &self.runner.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.runner.quick {
+            (self.sample_size / 4).max(3)
+        } else {
+            self.sample_size
+        };
+        let mut b = Bencher {
+            target_samples: samples,
+            quick: self.runner.quick,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        let mut sorted = b.samples_ns.clone();
+        sorted.sort_by(|a, c| a.total_cmp(c));
+        let pick = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let i = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[i]
+        };
+        let result = BenchResult {
+            id: id.clone(),
+            median_ns: pick(0.5),
+            min_ns: sorted.first().copied().unwrap_or(0.0),
+            p90_ns: pick(0.9),
+            samples: sorted.len(),
+            elements_per_iter: self.throughput,
+        };
+        println!(
+            "{id:<48} median {:>10}  min {:>10}  p90 {:>10}  {:>14}  n={}",
+            fmt_ns(result.median_ns),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.p90_ns),
+            fmt_rate(result.elements_per_second()),
+            result.samples
+        );
+        self.runner.results.push(result);
+    }
+
+    /// Ends the group (kept for call-site symmetry).
+    pub fn finish(self) {}
+}
+
+/// Hands the benchmark body a measurement loop.
+#[derive(Debug)]
+pub struct Bencher {
+    target_samples: usize,
+    quick: bool,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, calibrating the batch size so each
+    /// measured batch runs at least ~1 ms (100 µs under `--quick`).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let floor_ns = if self.quick { 100_000 } else { 1_000_000 };
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos();
+            if ns >= floor_ns || iters >= 1 << 30 {
+                break;
+            }
+            // Jump straight towards the floor when far below it.
+            iters = (iters as u128 * floor_ns)
+                .checked_div(ns)
+                .map(|j| j.clamp(iters as u128 + 1, iters as u128 * 16) as u64)
+                .unwrap_or(iters * 16);
+        }
+        for _ in 0..self.target_samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times one `routine` call per sample over fresh, untimed
+    /// `setup` state. The routine is expected to loop internally (it is
+    /// the "iteration" the group throughput refers to).
+    pub fn iter_batched_ref<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(&mut S) -> R,
+    ) {
+        for _ in 0..self.target_samples {
+            let mut state = setup();
+            let t = Instant::now();
+            black_box(routine(&mut state));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_runner() -> Runner {
+        Runner {
+            filter: None,
+            quick: true,
+            json: false,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn iter_produces_sane_stats() {
+        let mut r = test_runner();
+        let mut g = r.benchmark_group("unit");
+        g.sample_size(16); // quick mode measures a quarter of these
+        g.throughput(1);
+        let mut x = 0u64;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                x = x.wrapping_add(0x9e3779b9);
+                x
+            })
+        });
+        g.finish();
+        let res = &r.results()[0];
+        assert_eq!(res.id, "unit/add");
+        assert_eq!(res.samples, 4);
+        assert!(res.median_ns > 0.0);
+        assert!(res.min_ns <= res.median_ns);
+        assert!(res.median_ns <= res.p90_ns);
+        assert!(res.elements_per_second() > 0.0);
+    }
+
+    #[test]
+    fn batched_counts_one_routine_per_sample() {
+        let mut r = test_runner();
+        let mut g = r.benchmark_group("unit");
+        g.sample_size(3);
+        let mut setups = 0u32;
+        g.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || {
+                    setups += 1;
+                    vec![0u8; 1024]
+                },
+                |v| v.iter().map(|&b| b as u64).sum::<u64>(),
+            )
+        });
+        assert_eq!(setups, 3);
+        assert_eq!(r.results()[0].samples, 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut r = test_runner();
+        r.filter = Some("nothing-matches-this".to_string());
+        let mut g = r.benchmark_group("unit");
+        g.bench_function("skipped", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert!(r.results().is_empty());
+    }
+
+    #[test]
+    fn results_serialise() {
+        let mut r = test_runner();
+        let mut g = r.benchmark_group("unit");
+        g.sample_size(3);
+        g.bench_function("json", |b| b.iter(|| 2 * 2));
+        g.finish();
+        let j = r.results().to_json();
+        assert!(j.compact().contains("\"unit/json\""));
+    }
+}

@@ -1,4 +1,4 @@
-//! Shared helpers for the Criterion benchmarks.
+//! Shared helpers and the hand-rolled harness for the benchmarks.
 //!
 //! The benches live in `benches/`, one file per paper artefact:
 //!
@@ -9,6 +9,14 @@
 //! - `fig3_kernel`, `fig45_kernel`, `table1_kernel`, `table2_kernel` —
 //!   the per-figure/table experiment kernels at reduced budgets;
 //! - `ablations` — the parameter-sweep kernels.
+//!
+//! All benches are `harness = false` binaries driven by
+//! [`harness::Runner`] — a small, dependency-free measurement loop
+//! (calibrated batches, median/p90 over N samples). Pass a substring
+//! to filter benchmarks, `--quick` for a fast pass, `--json` for
+//! machine-readable results.
+
+pub mod harness;
 
 use execmig_trace::{suite, BoxedWorkload};
 

@@ -74,7 +74,8 @@ impl CacheConfig {
             "line size must be a power of two"
         );
         assert!(
-            self.capacity_bytes % (self.line_bytes * self.ways as u64) == 0,
+            self.capacity_bytes
+                .is_multiple_of(self.line_bytes * self.ways as u64),
             "capacity must be a whole number of sets"
         );
         let sets = self.sets();
@@ -445,10 +446,7 @@ mod tests {
         let mut c = small();
         c.fill(LineAddr::new(1), false);
         c.fill(LineAddr::new(2), true);
-        let mut lines: Vec<(u64, bool)> = c
-            .resident_lines()
-            .map(|(l, m)| (l.raw(), m))
-            .collect();
+        let mut lines: Vec<(u64, bool)> = c.resident_lines().map(|(l, m)| (l.raw(), m)).collect();
         lines.sort_unstable();
         assert_eq!(lines, vec![(1, false), (2, true)]);
     }

@@ -75,8 +75,7 @@ impl LruStack {
     /// the current line already removed from `pos`, so every `pos` entry
     /// owns exactly one occupied slot.
     fn compact(&mut self) {
-        let mut entries: Vec<(u64, usize)> =
-            self.pos.iter().map(|(&l, &s)| (l, s)).collect();
+        let mut entries: Vec<(u64, usize)> = self.pos.iter().map(|(&l, &s)| (l, s)).collect();
         entries.sort_unstable_by_key(|&(_, s)| s);
         let live = entries.len();
         let capacity = (live * 2).max(MIN_CAPACITY);
@@ -158,7 +157,9 @@ mod tests {
         let mut naive = NaiveStack::new();
         let mut state = 99u64;
         for i in 0..20_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let line = (state >> 33) % 300;
             assert_eq!(fast.access(line), naive.access(line), "step {i}");
         }

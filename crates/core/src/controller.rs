@@ -10,16 +10,16 @@
 //! requests that miss the active L2, "so a migration can happen only
 //! upon a L2 miss".
 
+use crate::mechanism::{DeltaMode, SignMode};
 use crate::sampler::Sampler;
 use crate::splitter2::{Splitter2, SplitterConfig, SplitterStats};
 use crate::splitter4::{Quadrant, Splitter4, Splitter4Config};
-use crate::tree::{SplitterTree, SplitterTreeConfig};
 use crate::table::{
-    AffinityTable, AnyAffinityTable, SkewedAffinityCache, TableStats,
-    UnboundedAffinityTable,
+    AffinityTable, AnyAffinityTable, SkewedAffinityCache, TableStats, UnboundedAffinityTable,
 };
-use crate::mechanism::{DeltaMode, SignMode};
+use crate::tree::{SplitterTree, SplitterTreeConfig};
 use crate::Side;
+use execmig_obs::Histogram;
 
 /// Degree of working-set splitting (= number of cores used).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,9 +132,7 @@ impl ControllerConfig {
 
     fn build_table(&self) -> AnyAffinityTable {
         match self.table {
-            TableConfig::Unbounded => {
-                AnyAffinityTable::Unbounded(UnboundedAffinityTable::new())
-            }
+            TableConfig::Unbounded => AnyAffinityTable::Unbounded(UnboundedAffinityTable::new()),
             TableConfig::Skewed { entries, ways } => {
                 AnyAffinityTable::Skewed(SkewedAffinityCache::new(entries, ways))
             }
@@ -191,6 +189,10 @@ pub struct MigrationController {
     inner: Inner,
     current_core: usize,
     stats: ControllerStats,
+    /// Monitored requests between designated-core changes.
+    dwell: Histogram,
+    /// `stats.requests` at the last designated-core change.
+    last_change_request: u64,
 }
 
 impl MigrationController {
@@ -243,6 +245,8 @@ impl MigrationController {
             inner,
             current_core: 0,
             stats: ControllerStats::default(),
+            dwell: Histogram::new(),
+            last_change_request: 0,
         }
     }
 
@@ -275,8 +279,8 @@ impl MigrationController {
         if l2_miss {
             self.stats.l2_misses += 1;
         }
-        let update_filter = (!self.config.l2_filter || l2_miss)
-            && (!self.config.pointer_filter || pointer);
+        let update_filter =
+            (!self.config.l2_filter || l2_miss) && (!self.config.pointer_filter || pointer);
         let core = match &mut self.inner {
             Inner::Two(s) => s.on_reference_filtered(line, update_filter).index(),
             Inner::Four(s) => s.on_reference_filtered(line, update_filter).index(),
@@ -285,6 +289,9 @@ impl MigrationController {
         if core != self.current_core {
             self.stats.migrations += 1;
             self.current_core = core;
+            self.dwell
+                .observe(self.stats.requests - self.last_change_request);
+            self.last_change_request = self.stats.requests;
         }
         core
     }
@@ -314,6 +321,23 @@ impl MigrationController {
             Inner::Two(s) => s.table().stats(),
             Inner::Four(s) => s.table_stats(),
             Inner::Eight(s) => s.table_stats(),
+        }
+    }
+
+    /// How many monitored requests the controller dwells on a core
+    /// before moving: the distribution of distances between
+    /// designated-core changes (§3.4's filter dwell time).
+    pub fn dwell_histogram(&self) -> &Histogram {
+        &self.dwell
+    }
+
+    /// Age-at-eviction histogram of the affinity cache; `None` when the
+    /// table is unbounded (it never evicts).
+    pub fn affinity_age_histogram(&self) -> Option<&Histogram> {
+        match &self.inner {
+            Inner::Two(s) => s.table().age_at_eviction(),
+            Inner::Four(s) => s.table().age_at_eviction(),
+            Inner::Eight(s) => s.table().age_at_eviction(),
         }
     }
 
@@ -405,6 +429,44 @@ mod tests {
             }
         }
         assert_eq!(mc.stats().migrations, changes);
+    }
+
+    #[test]
+    fn dwell_histogram_tracks_migrations() {
+        let mut mc = MigrationController::new(ControllerConfig {
+            l2_filter: false,
+            ..ControllerConfig::paper_stack_profile()
+        });
+        for t in 0..500_000u64 {
+            mc.on_request(t % 20_000, true);
+        }
+        let dwell = mc.dwell_histogram();
+        assert_eq!(
+            dwell.count(),
+            mc.stats().migrations,
+            "one dwell sample per migration"
+        );
+        assert!(dwell.sum() <= mc.stats().requests, "dwell exceeds requests");
+        assert!(dwell.count() > 0, "stream must migrate");
+        // Unbounded table: no eviction ages.
+        assert!(mc.affinity_age_histogram().is_none());
+    }
+
+    #[test]
+    fn skewed_controller_exposes_eviction_ages() {
+        let mut mc = MigrationController::new(ControllerConfig {
+            table: TableConfig::Skewed {
+                entries: 64,
+                ways: 4,
+            },
+            sampler: Sampler::full(),
+            ..ControllerConfig::paper_4core()
+        });
+        for t in 0..50_000u64 {
+            mc.on_request(t % 10_000, true);
+        }
+        let ages = mc.affinity_age_histogram().expect("skewed table");
+        assert!(ages.count() > 0, "thrashing cache must evict");
     }
 
     #[test]

@@ -82,15 +82,14 @@ pub mod window;
 pub use controller::{
     ControllerConfig, ControllerStats, MigrationController, SplitWays, TableConfig,
 };
-pub use reference::IdealAffinity;
 pub use filter::TransitionFilter;
 pub use mechanism::{DeltaMode, Mechanism, MechanismConfig, SignMode};
+pub use reference::IdealAffinity;
 pub use sampler::Sampler;
 pub use splitter2::{Splitter2, SplitterConfig, SplitterStats};
 pub use splitter4::{Quadrant, Splitter4, Splitter4Config};
 pub use table::{
-    AffinityTable, AnyAffinityTable, SkewedAffinityCache, TableStats,
-    UnboundedAffinityTable,
+    AffinityTable, AnyAffinityTable, SkewedAffinityCache, TableStats, UnboundedAffinityTable,
 };
 pub use tree::{SplitterTree, SplitterTreeConfig};
 pub use window::RWindow;

@@ -189,9 +189,7 @@ impl Mechanism {
                 // equivalent, and this one keeps the Figure 2 shape.)
                 self.ar += a_e - a_f;
                 let sign_arg = match self.config.sign_mode {
-                    SignMode::TrueSum => {
-                        self.ar + self.window.len() as i64 * self.delta
-                    }
+                    SignMode::TrueSum => self.ar + self.window.len() as i64 * self.delta,
                     SignMode::RegisterOnly => self.ar,
                 };
                 self.delta += Side::of(sign_arg).sign();
@@ -214,13 +212,10 @@ impl Mechanism {
                     }
                 }
                 let sign_arg = match self.config.sign_mode {
-                    SignMode::TrueSum => {
-                        self.ar + self.window.len() as i64 * self.delta
-                    }
+                    SignMode::TrueSum => self.ar + self.window.len() as i64 * self.delta,
                     SignMode::RegisterOnly => self.ar,
                 };
-                self.delta =
-                    sat::add(self.delta, Side::of(sign_arg).sign(), self.delta_bits);
+                self.delta = sat::add(self.delta, Side::of(sign_arg).sign(), self.delta_bits);
                 a_e
             }
         }
@@ -234,9 +229,7 @@ impl Mechanism {
         if let Some(i_e) = self.window.find(e) {
             return Some(sat::clamp(i_e + self.delta, bits));
         }
-        table
-            .peek(e)
-            .map(|o_e| sat::clamp(o_e - self.delta, bits))
+        table.peek(e).map(|o_e| sat::clamp(o_e - self.delta, bits))
     }
 
     /// The side `e` would be assigned by raw affinity sign (no filter).

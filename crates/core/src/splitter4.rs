@@ -14,8 +14,8 @@
 use crate::filter::TransitionFilter;
 use crate::mechanism::{DeltaMode, Mechanism, MechanismConfig, SignMode};
 use crate::sampler::Sampler;
-use crate::table::{AffinityTable, TableStats, UnboundedAffinityTable};
 use crate::splitter2::SplitterStats;
+use crate::table::{AffinityTable, TableStats, UnboundedAffinityTable};
 use crate::Side;
 
 /// One of the four subsets: `(sign(F_X), sign(F_Y))`.

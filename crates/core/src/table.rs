@@ -12,6 +12,8 @@
 
 use std::collections::HashMap;
 
+use execmig_obs::Histogram;
+
 /// Hit/miss counters of an affinity table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TableStats {
@@ -123,6 +125,9 @@ struct Entry {
     valid: bool,
     /// Age-based replacement state (larger = more recently used).
     last: u64,
+    /// Clock value when the entry was (re)allocated, for the
+    /// age-at-eviction histogram.
+    born: u64,
 }
 
 const EMPTY: Entry = Entry {
@@ -130,6 +135,7 @@ const EMPTY: Entry = Entry {
     o_e: 0,
     valid: false,
     last: 0,
+    born: 0,
 };
 
 /// A finite, skewed-associative affinity cache (§4.2: 8k entries,
@@ -150,6 +156,8 @@ pub struct SkewedAffinityCache {
     ways: u32,
     clock: u64,
     stats: TableStats,
+    /// Lifetime (in table accesses) of each evicted entry.
+    ages: Histogram,
 }
 
 impl SkewedAffinityCache {
@@ -166,7 +174,10 @@ impl SkewedAffinityCache {
             "at most {} ways supported",
             SKEW_KEYS.len()
         );
-        assert!(entries % ways as u64 == 0, "entries must divide by ways");
+        assert!(
+            entries.is_multiple_of(ways as u64),
+            "entries must divide by ways"
+        );
         let sets = entries / ways as u64;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         SkewedAffinityCache {
@@ -175,6 +186,7 @@ impl SkewedAffinityCache {
             ways,
             clock: 0,
             stats: TableStats::default(),
+            ages: Histogram::new(),
         }
     }
 
@@ -202,6 +214,20 @@ impl SkewedAffinityCache {
             .find(|&i| self.entries[i].valid && self.entries[i].line == line)
     }
 
+    /// How long evicted entries lived, in table accesses: the §3.5
+    /// sizing question ("we need a 32k-entry affinity cache") made
+    /// observable — entries dying young mean the cache is too small for
+    /// the sampled working set.
+    pub fn age_at_eviction(&self) -> &Histogram {
+        &self.ages
+    }
+
+    fn evict(&mut self, i: usize) {
+        if self.entries[i].valid {
+            self.ages.observe(self.clock - self.entries[i].born);
+        }
+    }
+
     fn victim(&self, line: u64) -> usize {
         let mut victim = self.index(line, 0);
         for w in 0..self.ways {
@@ -227,27 +253,36 @@ impl AffinityTable for SkewedAffinityCache {
         }
         self.stats.misses += 1;
         let i = self.victim(line);
+        self.evict(i);
         self.entries[i] = Entry {
             line,
             o_e: reset,
             valid: true,
             last: self.clock,
+            born: self.clock,
         };
         reset
     }
 
     fn write(&mut self, line: u64, o_e: i64) {
         self.clock += 1;
-        let i = match self.find(line) {
-            Some(i) => i,
-            None => self.victim(line),
-        };
-        self.entries[i] = Entry {
-            line,
-            o_e,
-            valid: true,
-            last: self.clock,
-        };
+        match self.find(line) {
+            Some(i) => {
+                self.entries[i].o_e = o_e;
+                self.entries[i].last = self.clock;
+            }
+            None => {
+                let i = self.victim(line);
+                self.evict(i);
+                self.entries[i] = Entry {
+                    line,
+                    o_e,
+                    valid: true,
+                    last: self.clock,
+                    born: self.clock,
+                };
+            }
+        }
     }
 
     fn peek(&self, line: u64) -> Option<i64> {
@@ -267,6 +302,17 @@ pub enum AnyAffinityTable {
     Unbounded(UnboundedAffinityTable),
     /// Finite skewed-associative hardware model.
     Skewed(SkewedAffinityCache),
+}
+
+impl AnyAffinityTable {
+    /// Age-at-eviction histogram; `None` for the unbounded table
+    /// (which never evicts).
+    pub fn age_at_eviction(&self) -> Option<&Histogram> {
+        match self {
+            AnyAffinityTable::Unbounded(_) => None,
+            AnyAffinityTable::Skewed(t) => Some(t.age_at_eviction()),
+        }
+    }
 }
 
 impl AffinityTable for AnyAffinityTable {
@@ -374,6 +420,21 @@ mod tests {
             t.read_or_insert(i, 0);
         }
         assert_eq!(t.peek(1), Some(11), "hot line evicted despite recency");
+    }
+
+    #[test]
+    fn eviction_ages_are_recorded() {
+        let mut t = SkewedAffinityCache::new(8, 2);
+        // Fill past capacity: every eviction of a valid entry must land
+        // in the age histogram, and ages are bounded by the clock.
+        for i in 0..1000u64 {
+            t.read_or_insert(i, 0);
+        }
+        let ages = t.age_at_eviction();
+        assert!(ages.count() >= 1000 - 8, "evictions {}", ages.count());
+        assert!(ages.max() < 1000, "age beyond clock: {}", ages.max());
+        // A fresh cache has seen no evictions.
+        assert!(SkewedAffinityCache::new(8, 2).age_at_eviction().is_empty());
     }
 
     #[test]

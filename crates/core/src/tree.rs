@@ -85,10 +85,7 @@ impl<T: AffinityTable> SplitterTree<T> {
     /// single-chip configuration of the paper's era), or on invalid
     /// widths.
     pub fn with_table(config: SplitterTreeConfig, table: T) -> Self {
-        assert!(
-            (1..=4).contains(&config.depth),
-            "depth must be in [1, 4]"
-        );
+        assert!((1..=4).contains(&config.depth), "depth must be in [1, 4]");
         let levels = (0..config.depth)
             .map(|l| {
                 let r = (config.r_window_top >> l).max(8);
@@ -193,6 +190,11 @@ impl<T: AffinityTable> SplitterTree<T> {
     /// Affinity-table statistics.
     pub fn table_stats(&self) -> TableStats {
         self.table.stats()
+    }
+
+    /// The affinity table.
+    pub fn table(&self) -> &T {
+        &self.table
     }
 
     /// References routed into some mechanism.

@@ -6,10 +6,9 @@ pub mod rwindow {
     use execmig_core::{Splitter2, SplitterConfig};
     use execmig_trace::gen::{CircularWorkload, HalfRandomWorkload};
     use execmig_trace::Workload;
-    use serde::Serialize;
 
     /// Result of one (stream, |R|) cell.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone)]
     pub struct RWindowPoint {
         /// Stream description.
         pub stream: String,
@@ -26,6 +25,15 @@ pub mod rwindow {
         /// rare (a 50 % flip rate is a random assignment, not a split).
         pub split: bool,
     }
+
+    execmig_obs::impl_to_json!(RWindowPoint {
+        stream,
+        n,
+        r_window,
+        positive_fraction,
+        transition_rate,
+        split
+    });
 
     fn measure(
         stream: String,
@@ -73,12 +81,7 @@ pub mod rwindow {
 
     /// Sweeps `|R|` on `HalfRandom(m)`: the paper's claim is that `|R|`
     /// should not be much larger than `m`.
-    pub fn half_random_sweep(
-        n: u64,
-        m: u64,
-        r_windows: &[usize],
-        refs: u64,
-    ) -> Vec<RWindowPoint> {
+    pub fn half_random_sweep(n: u64, m: u64, r_windows: &[usize], refs: u64) -> Vec<RWindowPoint> {
         r_windows
             .iter()
             .map(|&r| {
@@ -109,8 +112,8 @@ pub mod rwindow {
             assert!(points[0].transition_rate < 0.02, "{points:?}");
             // |R| = 2000 >> m: the positive feedback is lost in noise —
             // either no balanced split or a far noisier one.
-            let degraded = !points[1].split
-                || points[1].transition_rate > 4.0 * points[0].transition_rate;
+            let degraded =
+                !points[1].split || points[1].transition_rate > 4.0 * points[0].transition_rate;
             assert!(degraded, "{points:?}");
         }
     }
@@ -122,10 +125,9 @@ pub mod rwindow {
 pub mod filter {
     use execmig_core::{Splitter2, SplitterConfig};
     use execmig_trace::Rng;
-    use serde::Serialize;
 
     /// Result of one filter-width cell.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone)]
     pub struct FilterPoint {
         /// Filter width in bits.
         pub filter_bits: u32,
@@ -135,13 +137,14 @@ pub mod filter {
         pub predicted: f64,
     }
 
+    execmig_obs::impl_to_json!(FilterPoint {
+        filter_bits,
+        measured,
+        predicted
+    });
+
     /// Sweeps filter widths on a uniform random stream over `n` lines.
-    pub fn sweep(
-        affinity_bits: u32,
-        filter_bits: &[u32],
-        n: u64,
-        refs: u64,
-    ) -> Vec<FilterPoint> {
+    pub fn sweep(affinity_bits: u32, filter_bits: &[u32], n: u64, refs: u64) -> Vec<FilterPoint> {
         filter_bits
             .iter()
             .map(|&bits| {
@@ -164,8 +167,7 @@ pub mod filter {
                 FilterPoint {
                     filter_bits: bits,
                     measured,
-                    predicted: 1.0
-                        / 2f64.powi(1 + bits as i32 - affinity_bits as i32),
+                    predicted: 1.0 / 2f64.powi(1 + bits as i32 - affinity_bits as i32),
                 }
             })
             .collect()
@@ -208,10 +210,9 @@ pub mod filter {
 pub mod sampling {
     use execmig_core::{ControllerConfig, MigrationController, Sampler, TableConfig};
     use execmig_trace::{suite, LineSize, Workload};
-    use serde::Serialize;
 
     /// Result of one sampling configuration on one benchmark.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone)]
     pub struct SamplingPoint {
         /// Benchmark.
         pub name: String,
@@ -224,6 +225,14 @@ pub mod sampling {
         /// Affinity-cache miss rate.
         pub table_miss_rate: f64,
     }
+
+    execmig_obs::impl_to_json!(SamplingPoint {
+        name,
+        threshold,
+        table_entries,
+        migrations_per_minstr,
+        table_miss_rate
+    });
 
     /// Sweeps sampling thresholds (with the affinity cache scaled
     /// proportionally, as §3.5 intends) feeding the controller the
@@ -241,8 +250,7 @@ pub mod sampling {
                     ..ControllerConfig::paper_4core()
                 });
                 let mut w = suite::by_name(name).expect("suite benchmark");
-                let mut filter =
-                    crate::l1filter::L1Filter::paper(LineSize::DEFAULT);
+                let mut filter = crate::l1filter::L1Filter::paper(LineSize::DEFAULT);
                 while w.instructions() < instructions {
                     let access = w.next_access();
                     if let Some(line) = filter.filter(access) {
@@ -287,10 +295,9 @@ pub mod sampling {
 pub mod linesize {
     use crate::fig45::{run_workload, Fig45Config, Fig45Row};
     use execmig_trace::suite;
-    use serde::Serialize;
 
     /// Splittability at one line size.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone)]
     pub struct LineSizePoint {
         /// Benchmark.
         pub name: String,
@@ -301,6 +308,13 @@ pub mod linesize {
         /// Transition rate.
         pub transition_rate: f64,
     }
+
+    execmig_obs::impl_to_json!(LineSizePoint {
+        name,
+        line_bytes,
+        split_gain,
+        transition_rate
+    });
 
     impl From<(u64, Fig45Row)> for LineSizePoint {
         fn from((line_bytes, row): (u64, Fig45Row)) -> Self {
@@ -348,10 +362,9 @@ pub mod linesize {
 /// order of magnitude more often.
 pub mod signmode {
     use execmig_core::{SignMode, Splitter2, SplitterConfig};
-    use serde::Serialize;
 
     /// Result of one sign-mode run on `Circular(n)`.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone)]
     pub struct SignModePoint {
         /// Mode label.
         pub mode: String,
@@ -360,6 +373,12 @@ pub mod signmode {
         /// Positive fraction (balance).
         pub positive_fraction: f64,
     }
+
+    execmig_obs::impl_to_json!(SignModePoint {
+        mode,
+        transition_rate,
+        positive_fraction
+    });
 
     /// Compares the two sign modes on `Circular(n)`.
     pub fn compare(n: u64, r_window: usize, refs: u64) -> Vec<SignModePoint> {
@@ -382,8 +401,7 @@ pub mod signmode {
                 }
                 SignModePoint {
                     mode: format!("{mode:?}"),
-                    transition_rate: (s.stats().transitions - before) as f64
-                        / window as f64,
+                    transition_rate: (s.stats().transitions - before) as f64 / window as f64,
                     positive_fraction: s.positive_fraction(0..n),
                 }
             })
@@ -405,10 +423,7 @@ pub mod signmode {
             );
             // Both achieve a balanced split.
             for p in &points {
-                assert!(
-                    (0.3..=0.7).contains(&p.positive_fraction),
-                    "{points:?}"
-                );
+                assert!((0.3..=0.7).contains(&p.positive_fraction), "{points:?}");
             }
         }
     }

@@ -3,19 +3,32 @@
 //! and an `F`-bit filter, the residual transition frequency is about
 //! `1/2^(1+F−A)` once affinities saturate.
 //!
-//! Usage: `ablation_filter [--refs N] [--json]`
+//! Usage: `ablation_filter [--refs N] [--json] [--no-manifest]
+//!                          [--manifest-dir DIR]`
 
 use execmig_experiments::ablations::filter;
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64, fmt_frac};
 use execmig_experiments::TextTable;
+use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let refs = arg_u64(&args, "--refs", 2_000_000);
+    let mut em = ManifestEmitter::start("ablation_filter", &args);
+    em.budget(refs);
+    em.config(
+        &Json::object()
+            .field("refs", refs)
+            .field("affinity_bits", 16u64)
+            .field("filter_bits", [17u64, 18, 19, 20, 21, 22]),
+    );
 
     let points = filter::sweep(16, &[17, 18, 19, 20, 21, 22], 4000, refs);
+    em.stats(Json::object().field("points", &points));
     if arg_flag(&args, "--json") {
-        println!("{}", serde_json::to_string_pretty(&points).expect("serialise"));
+        println!("{}", points.to_json().pretty());
+        em.write();
         return;
     }
     println!("== §3.4 — filter width vs transition rate on uniform random, 16-bit affinities ==");
@@ -29,4 +42,5 @@ fn main() {
     }
     println!("{}", t.render());
     println!("(each added bit should roughly halve the measured rate)");
+    em.write();
 }

@@ -1,28 +1,39 @@
 //! §4.1 ablation: "splittability is less pronounced with larger lines"
 //! — merging graph nodes can only increase the minimum cut.
 //!
-//! Usage: `ablation_linesize [--instr N] [--bench NAME[,NAME…]] [--json]`
+//! Usage: `ablation_linesize [--instr N] [--bench NAME[,NAME…]] [--json]
+//!                            [--no-manifest] [--manifest-dir DIR]`
 
 use execmig_experiments::ablations::linesize;
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64, arg_value, fmt_frac};
 use execmig_experiments::TextTable;
+use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let instructions = arg_u64(&args, "--instr", 10_000_000);
     let benches: Vec<String> = arg_value(&args, "--bench")
         .map(|v| v.split(',').map(|s| s.to_string()).collect())
-        .unwrap_or_else(|| {
-            vec!["art".to_string(), "em3d".to_string(), "ammp".to_string()]
-        });
+        .unwrap_or_else(|| vec!["art".to_string(), "em3d".to_string(), "ammp".to_string()]);
 
     let sizes = [64u64, 128, 256, 512];
+    let mut em = ManifestEmitter::start("ablation_linesize", &args);
+    em.budget(instructions);
+    em.config(
+        &Json::object()
+            .field("instructions", instructions)
+            .field("benchmarks", &benches)
+            .field("line_bytes", sizes),
+    );
     let mut all = Vec::new();
     for b in &benches {
         all.extend(linesize::sweep(b, &sizes, instructions));
     }
+    em.stats(Json::object().field("points", all.len()));
     if arg_flag(&args, "--json") {
-        println!("{}", serde_json::to_string_pretty(&all).expect("serialise"));
+        println!("{}", all.to_json().pretty());
+        em.write();
         return;
     }
     println!("== §4.1 — line size vs splittability (mean p1 - p4 gap) ==");
@@ -36,4 +47,5 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    em.write();
 }

@@ -3,24 +3,33 @@
 //! - `Circular(N)` with `|R|` = 100 splits iff `N > 2|R|`;
 //! - `HalfRandom(m)` requires `|R|` not much larger than `m`.
 //!
-//! Usage: `ablation_rwindow [--refs N] [--json]`
+//! Usage: `ablation_rwindow [--refs N] [--json] [--no-manifest]
+//!                           [--manifest-dir DIR]`
 
 use execmig_experiments::ablations::rwindow;
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64, fmt_frac};
 use execmig_experiments::TextTable;
+use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let refs = arg_u64(&args, "--refs", 1_000_000);
+    let mut em = ManifestEmitter::start("ablation_rwindow", &args);
+    em.budget(refs);
+    em.config(&Json::object().field("refs", refs).field("r_window", 100u64));
 
     let circular = rwindow::circular_sweep(100, &[120, 150, 180, 220, 450, 1000, 4000], refs);
     let half = rwindow::half_random_sweep(4000, 300, &[25, 50, 100, 300, 600, 2000], refs);
+    em.stats(
+        Json::object()
+            .field("circular_points", circular.len())
+            .field("half_random_points", half.len()),
+    );
 
     if arg_flag(&args, "--json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&(&circular, &half)).expect("serialise")
-        );
+        println!("{}", (&circular, &half).to_json().pretty());
+        em.write();
         return;
     }
 
@@ -50,4 +59,5 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    em.write();
 }

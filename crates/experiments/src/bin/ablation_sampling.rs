@@ -1,11 +1,14 @@
 //! §3.5 ablation: working-set sampling ratio vs affinity-cache size vs
 //! migration frequency.
 //!
-//! Usage: `ablation_sampling [--instr N] [--bench NAME[,NAME…]] [--json]`
+//! Usage: `ablation_sampling [--instr N] [--bench NAME[,NAME…]] [--json]
+//!                            [--no-manifest] [--manifest-dir DIR]`
 
 use execmig_experiments::ablations::sampling;
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
 use execmig_experiments::TextTable;
+use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,12 +18,22 @@ fn main() {
         .unwrap_or_else(|| vec!["art".to_string(), "mcf".to_string(), "gzip".to_string()]);
 
     let thresholds = [31u64, 16, 8, 4];
+    let mut em = ManifestEmitter::start("ablation_sampling", &args);
+    em.budget(instructions);
+    em.config(
+        &Json::object()
+            .field("instructions", instructions)
+            .field("benchmarks", &benches)
+            .field("thresholds", thresholds),
+    );
     let mut all = Vec::new();
     for b in &benches {
         all.extend(sampling::sweep(b, &thresholds, instructions));
     }
+    em.stats(Json::object().field("points", all.len()));
     if arg_flag(&args, "--json") {
-        println!("{}", serde_json::to_string_pretty(&all).expect("serialise"));
+        println!("{}", all.to_json().pretty());
+        em.write();
         return;
     }
     println!("== §3.5 — sampling ratio (H(e) < T of 31) vs migrations ==");
@@ -44,4 +57,5 @@ fn main() {
     }
     println!("{}", t.render());
     println!("(paper §4.2 uses threshold 8 = 25% sampling with an 8k-entry cache)");
+    em.write();
 }

@@ -4,20 +4,33 @@
 //! often; the Definition-1 sign reproduces the paper's reported rates
 //! (1/2000 on Circular(4000) with |R| = 100) — see DESIGN.md §6.
 //!
-//! Usage: `ablation_signmode [--refs N] [--json]`
+//! Usage: `ablation_signmode [--refs N] [--json] [--no-manifest]
+//!                            [--manifest-dir DIR]`
 
 use execmig_experiments::ablations::signmode;
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64, fmt_frac};
 use execmig_experiments::TextTable;
+use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let refs = arg_u64(&args, "--refs", 1_000_000);
+    let mut em = ManifestEmitter::start("ablation_signmode", &args);
+    em.budget(refs);
+    em.config(
+        &Json::object()
+            .field("refs", refs)
+            .field("n", 4000u64)
+            .field("r_window", 100u64),
+    );
 
     println!("== Sign-mode ablation on Circular(4000), |R| = 100 ==");
     let points = signmode::compare(4000, 100, refs);
+    em.stats(Json::object().field("points", &points));
     if arg_flag(&args, "--json") {
-        println!("{}", serde_json::to_string_pretty(&points).expect("serialise"));
+        println!("{}", points.to_json().pretty());
+        em.write();
         return;
     }
     let mut t = TextTable::new(&["sign mode", "trans/ref", "positive fraction"]);
@@ -30,4 +43,5 @@ fn main() {
     }
     println!("{}", t.render());
     println!("(the paper reports one transition every 2000 references = 0.0005)");
+    em.write();
 }

@@ -4,7 +4,8 @@
 //! Prints the §4.1-style stack profile (p1 vs p4), the Table 2-style
 //! machine comparison, and the break-even migration penalty.
 //!
-//! Usage: `analyze_trace <trace.emt> [--json]`
+//! Usage: `analyze_trace <trace.emt> [--json] [--no-manifest]
+//!                        [--manifest-dir DIR]`
 //!
 //! Record a trace from any `Workload` (or an external tool emitting the
 //! same format) with `execmig_trace::TraceWriter`; see the
@@ -13,18 +14,21 @@
 use execmig_cache::{LruStack, StackProfile};
 use execmig_core::{Splitter4, Splitter4Config};
 use execmig_experiments::l1filter::L1Filter;
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::arg_flag;
 use execmig_machine::perf::break_even_pmig;
 use execmig_machine::{Machine, MachineConfig};
+use execmig_obs::Json;
 use execmig_trace::{LineSize, TraceReader, Workload};
 use std::fs::File;
 use std::io::BufReader;
 use std::process::exit;
 
 fn open_trace(path: &str) -> TraceReader<BufReader<File>> {
-    match File::open(path).map_err(|e| e.to_string()).and_then(|f| {
-        TraceReader::new(BufReader::new(f)).map_err(|e| e.to_string())
-    }) {
+    match File::open(path)
+        .map_err(|e| e.to_string())
+        .and_then(|f| TraceReader::new(BufReader::new(f)).map_err(|e| e.to_string()))
+    {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cannot open trace {path}: {e}");
@@ -40,6 +44,12 @@ fn main() {
         exit(2);
     };
     let line = LineSize::DEFAULT;
+    let mut em = ManifestEmitter::start("analyze_trace", &args);
+    em.config(
+        &Json::object()
+            .field("trace", path.as_str())
+            .field("line_bytes", line.bytes()),
+    );
 
     // Pass 1: stack profiles through the §4.1 pipeline.
     let mut reader = open_trace(path);
@@ -82,28 +92,36 @@ fn main() {
         / (base.l2_misses as f64 / base.instructions.max(1) as f64).max(f64::MIN_POSITIVE);
     let break_even = break_even_pmig(&base, &mig);
 
+    em.budget(instructions);
+    em.stats(
+        Json::object()
+            .field("instructions", instructions)
+            .field("accesses", accesses)
+            .field("l2_miss_ratio", ratio)
+            .field("migrations", mig.migrations)
+            .field("break_even_pmig", break_even),
+    );
     if arg_flag(&args, "--json") {
-        let points: Vec<_> = (0..=10)
+        let points: Vec<Json> = (0..=10)
             .map(|i| {
                 let bytes: u64 = (16 << 10) << i;
                 let lines = bytes / line.bytes();
-                serde_json::json!({
-                    "bytes": bytes,
-                    "p1": profile1.frac_deeper_than(lines),
-                    "p4": profile4.frac_deeper_than(lines),
-                })
+                Json::object()
+                    .field("bytes", bytes)
+                    .field("p1", profile1.frac_deeper_than(lines))
+                    .field("p4", profile4.frac_deeper_than(lines))
             })
             .collect();
-        let out = serde_json::json!({
-            "instructions": instructions,
-            "accesses": accesses,
-            "profile": points,
-            "transition_rate": splitter.stats().transition_rate(),
-            "l2_miss_ratio": ratio,
-            "migrations": mig.migrations,
-            "break_even_pmig": break_even,
-        });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serialise"));
+        let out = Json::object()
+            .field("instructions", instructions)
+            .field("accesses", accesses)
+            .field("profile", Json::Arr(points))
+            .field("transition_rate", splitter.stats().transition_rate())
+            .field("l2_miss_ratio", ratio)
+            .field("migrations", mig.migrations)
+            .field("break_even_pmig", break_even);
+        println!("{}", out.pretty());
+        em.write();
         return;
     }
 
@@ -138,10 +156,11 @@ fn main() {
     );
     println!("  L2-miss ratio: {ratio:.2}");
     match break_even {
-        Some(be) if be > 1.0 => println!(
-            "  => migration helps whenever P_mig < {be:.0} L2-miss penalties"
-        ),
+        Some(be) if be > 1.0 => {
+            println!("  => migration helps whenever P_mig < {be:.0} L2-miss penalties")
+        }
         Some(_) => println!("  => migration adds misses here; it never pays"),
         None => println!("  => no migrations were triggered"),
     }
+    em.write();
 }

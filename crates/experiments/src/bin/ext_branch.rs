@@ -2,15 +2,27 @@
 //! bus buys — post-migration mispredict rates with trained versus stale
 //! inactive predictors.
 //!
-//! Usage: `ext_branch [--rounds N] [--json]`
+//! Usage: `ext_branch [--rounds N] [--json] [--no-manifest]
+//!                     [--manifest-dir DIR]`
 
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64};
 use execmig_experiments::TextTable;
 use execmig_machine::branch::compare_training;
+use execmig_obs::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let rounds = arg_u64(&args, "--rounds", 60);
+    let mut em = ManifestEmitter::start("ext_branch", &args);
+    em.seed(0xb4a9);
+    em.config(
+        &Json::object()
+            .field("rounds", rounds)
+            .field("cores", 4u64)
+            .field("static_branches", 500u64)
+            .field("migration_period_branches", 5_000u64),
+    );
 
     let windows = [200u64, 500, 1000, 2000];
     let results: Vec<_> = windows
@@ -18,19 +30,20 @@ fn main() {
         .map(|&w| (w, compare_training(4, 500, 5_000, w, rounds, 0xb4a9)))
         .collect();
 
+    let json_rows: Vec<Json> = results
+        .iter()
+        .map(|(w, o)| {
+            Json::object()
+                .field("window", *w)
+                .field("trained", o.post_migration_mispredicts_trained)
+                .field("stale", o.post_migration_mispredicts_stale)
+                .field("steady", o.steady_mispredicts)
+        })
+        .collect();
+    em.stats(Json::Arr(json_rows.clone()));
     if arg_flag(&args, "--json") {
-        let json: Vec<_> = results
-            .iter()
-            .map(|(w, o)| {
-                serde_json::json!({
-                    "window": w,
-                    "trained": o.post_migration_mispredicts_trained,
-                    "stale": o.post_migration_mispredicts_stale,
-                    "steady": o.steady_mispredicts,
-                })
-            })
-            .collect();
-        println!("{}", serde_json::to_string_pretty(&json).expect("serialise"));
+        println!("{}", Json::Arr(json_rows).pretty());
+        em.write();
         return;
     }
     println!("== §2.3/§6 — branch broadcast: post-migration mispredict rate ==");
@@ -52,4 +65,5 @@ fn main() {
     }
     println!("{}", t.render());
     println!("(the update-bus training keeps arrival penalties at the steady-state level)");
+    em.write();
 }

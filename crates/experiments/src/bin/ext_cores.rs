@@ -1,10 +1,13 @@
 //! §6 extension: core-count scaling — 2-way, 4-way and 8-way splitting
 //! on the same benchmarks.
 //!
-//! Usage: `ext_cores [--instr N] [--bench NAME[,NAME…]] [--json]`
+//! Usage: `ext_cores [--instr N] [--bench NAME[,NAME…]] [--json]
+//!                    [--no-manifest] [--manifest-dir DIR]`
 
 use execmig_experiments::ext_cores;
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
+use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,15 +23,26 @@ fn main() {
             ]
         });
 
+    let mut em = ManifestEmitter::start("ext_cores", &args);
+    em.budget(instructions);
+    em.config(
+        &Json::object()
+            .field("instructions", instructions)
+            .field("benchmarks", &benches)
+            .field("cores", [1u64, 2, 4, 8]),
+    );
     let mut all = Vec::new();
     for b in &benches {
         all.extend(ext_cores::sweep(b, &[1, 2, 4, 8], instructions));
     }
+    em.stats(Json::object().field("points", all.len()));
     if arg_flag(&args, "--json") {
-        println!("{}", serde_json::to_string_pretty(&all).expect("serialise"));
+        println!("{}", all.to_json().pretty());
+        em.write();
         return;
     }
     println!("== §6 — core-count scaling (aggregate L2 grows with the split degree) ==");
     println!("{}", ext_cores::render(&all));
     println!("(swim's 16 MB working set exceeds even 8x512 KB: ratio stays ~1)");
+    em.write();
 }

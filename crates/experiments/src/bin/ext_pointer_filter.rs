@@ -1,10 +1,13 @@
 //! §6 extension: transition-filter updates restricted to pointer-load
 //! requests.
 //!
-//! Usage: `ext_pointer_filter [--instr N] [--bench NAME[,NAME…]] [--json]`
+//! Usage: `ext_pointer_filter [--instr N] [--bench NAME[,NAME…]] [--json]
+//!                             [--no-manifest] [--manifest-dir DIR]`
 
 use execmig_experiments::ext_pointer;
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
+use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,15 +24,25 @@ fn main() {
             ]
         });
 
+    let mut em = ManifestEmitter::start("ext_pointer_filter", &args);
+    em.budget(instructions);
+    em.config(
+        &Json::object()
+            .field("instructions", instructions)
+            .field("benchmarks", &benches),
+    );
     let rows: Vec<_> = benches
         .iter()
         .map(|b| ext_pointer::run_benchmark(b, instructions))
         .collect();
+    em.stats(Json::object().field("rows", rows.len()));
     if arg_flag(&args, "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!("{}", rows.to_json().pretty());
+        em.write();
         return;
     }
     println!("== §6 — pointer-load filtering of the transition filter ==");
     println!("{}", ext_pointer::render(&rows));
     println!("(linked-data benchmarks keep their benefit; array/random code stops migrating)");
+    em.write();
 }

@@ -1,10 +1,12 @@
 //! §6 extension: prefetching × execution migration (2×2 grid).
 //!
 //! Usage: `ext_prefetch [--instr N] [--degree N] [--bench NAME[,NAME…]]
-//!                       [--json]`
+//!                       [--json] [--no-manifest] [--manifest-dir DIR]`
 
 use execmig_experiments::ext_prefetch;
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
+use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,15 +24,26 @@ fn main() {
             ]
         });
 
+    let mut em = ManifestEmitter::start("ext_prefetch", &args);
+    em.budget(instructions);
+    em.config(
+        &Json::object()
+            .field("instructions", instructions)
+            .field("degree", degree as u64)
+            .field("benchmarks", &benches),
+    );
     let rows: Vec<_> = benches
         .iter()
         .map(|b| ext_prefetch::run_benchmark(b, degree, instructions))
         .collect();
+    em.stats(Json::object().field("rows", rows.len()));
     if arg_flag(&args, "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!("{}", rows.to_json().pretty());
+        em.write();
         return;
     }
     println!("== §6 — sequential prefetch (degree {degree}) x migration ==");
     println!("{}", ext_prefetch::render(&rows));
     println!("(prefetch recovers array sweeps; migration keeps its edge on pointer chasing)");
+    em.write();
 }

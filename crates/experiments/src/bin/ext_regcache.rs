@@ -1,16 +1,28 @@
 //! §6 extension: register-update cache — update-bus bandwidth saved vs
 //! per-migration spill cost.
 //!
-//! Usage: `ext_regcache [--writes N] [--migrations N] [--json]`
+//! Usage: `ext_regcache [--writes N] [--migrations N] [--json]
+//!                       [--no-manifest] [--manifest-dir DIR]`
 
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64};
 use execmig_experiments::TextTable;
 use execmig_machine::regcache::{simulate, RegCacheConfig};
+use execmig_obs::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let writes = arg_u64(&args, "--writes", 10_000_000);
     let migrations = arg_u64(&args, "--migrations", 1000);
+    let mut em = ManifestEmitter::start("ext_regcache", &args);
+    em.budget(writes);
+    em.seed(0x5eed);
+    em.config(
+        &Json::object()
+            .field("writes", writes)
+            .field("migrations", migrations)
+            .field("entries", [0u64, 2, 4, 8, 16, 32]),
+    );
 
     let sizes = [0usize, 2, 4, 8, 16, 32];
     let results: Vec<_> = sizes
@@ -29,18 +41,19 @@ fn main() {
         })
         .collect();
 
+    let json_rows: Vec<Json> = results
+        .iter()
+        .map(|(entries, s)| {
+            Json::object()
+                .field("entries", *entries)
+                .field("saved_fraction", s.saved_fraction())
+                .field("spill_per_migration", s.spill_per_migration())
+        })
+        .collect();
+    em.stats(Json::Arr(json_rows.clone()));
     if arg_flag(&args, "--json") {
-        let json: Vec<_> = results
-            .iter()
-            .map(|(entries, s)| {
-                serde_json::json!({
-                    "entries": entries,
-                    "saved_fraction": s.saved_fraction(),
-                    "spill_per_migration": s.spill_per_migration(),
-                })
-            })
-            .collect();
-        println!("{}", serde_json::to_string_pretty(&json).expect("serialise"));
+        println!("{}", Json::Arr(json_rows).pretty());
+        em.write();
         return;
     }
     println!("== §6 — register-update cache: bandwidth saved vs spill cost ==");
@@ -50,11 +63,7 @@ fn main() {
         migrations
     );
     println!();
-    let mut t = TextTable::new(&[
-        "entries",
-        "broadcasts saved",
-        "spill entries/migration",
-    ]);
+    let mut t = TextTable::new(&["entries", "broadcasts saved", "spill entries/migration"]);
     for (entries, s) in &results {
         t.row(&[
             entries.to_string(),
@@ -64,4 +73,5 @@ fn main() {
     }
     println!("{}", t.render());
     println!("(the paper's trade-off: bandwidth drops, migrations pay a spill burst)");
+    em.write();
 }

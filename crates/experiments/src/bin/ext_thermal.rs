@@ -1,38 +1,49 @@
 //! §6 extension: activity migration for heat dissipation — peak
 //! temperature versus rotation period.
 //!
-//! Usage: `ext_thermal [--cores N] [--json]`
+//! Usage: `ext_thermal [--cores N] [--json] [--no-manifest]
+//!                      [--manifest-dir DIR]`
 
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64};
 use execmig_experiments::TextTable;
 use execmig_machine::thermal::{peak_with_rotation, ThermalConfig};
+use execmig_obs::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cores = arg_u64(&args, "--cores", 4) as usize;
     let config = ThermalConfig::default();
     let total = 200_000.0; // kilo-instructions
+    let mut em = ManifestEmitter::start("ext_thermal", &args);
+    em.config(
+        &Json::object()
+            .field("cores", cores)
+            .field("total_kinstr", total),
+    );
 
     let periods = [f64::INFINITY, 50_000.0, 10_000.0, 2_000.0, 500.0, 100.0];
     let results: Vec<(f64, f64)> = periods
         .iter()
         .map(|&p| {
-            let peak = peak_with_rotation(
-                cores,
-                config,
-                if p.is_finite() { p } else { total },
-                total,
-            );
+            let peak =
+                peak_with_rotation(cores, config, if p.is_finite() { p } else { total }, total);
             (p, peak)
         })
         .collect();
 
+    let json_rows: Vec<Json> = results
+        .iter()
+        .map(|(p, peak)| {
+            Json::object()
+                .field("rotate_kinstr", *p)
+                .field("peak", *peak)
+        })
+        .collect();
+    em.stats(Json::Arr(json_rows.clone()));
     if arg_flag(&args, "--json") {
-        let json: Vec<_> = results
-            .iter()
-            .map(|(p, peak)| serde_json::json!({"rotate_kinstr": p, "peak": peak}))
-            .collect();
-        println!("{}", serde_json::to_string_pretty(&json).expect("serialise"));
+        println!("{}", Json::Arr(json_rows).pretty());
+        em.write();
         return;
     }
     println!("== §6 — activity rotation vs peak temperature ({cores} cores) ==");
@@ -53,4 +64,5 @@ fn main() {
     println!(
         "(fast rotation approaches the 1/{cores} duty-cycle bound — the \"bonus\" the paper's §6 cites)"
     );
+    em.write();
 }

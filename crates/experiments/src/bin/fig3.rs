@@ -1,16 +1,21 @@
 //! Regenerates Figure 3: affinity snapshots on Circular and
 //! HalfRandom(300), N = 4000, |R| = 100, at t = 20k/100k/1000k.
 //!
-//! Usage: `fig3 [--buckets N] [--csv] [--json]`
+//! Usage: `fig3 [--buckets N] [--csv] [--json] [--no-manifest]
+//!               [--manifest-dir DIR]`
 
 use execmig_experiments::fig3::{bucket_means, run, Fig3Config};
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64};
+use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let buckets = arg_u64(&args, "--buckets", 40) as usize;
     let csv = arg_flag(&args, "--csv");
     let json = arg_flag(&args, "--json");
+    let mut em = ManifestEmitter::start("fig3", &args);
+    let mut stream_stats = Vec::new();
 
     for config in [Fig3Config::circular(), Fig3Config::half_random()] {
         let label = match config.stream {
@@ -20,8 +25,17 @@ fn main() {
             }
         };
         let result = run(config);
+        if let Some(last) = result.snapshots.last() {
+            stream_stats.push(
+                Json::object()
+                    .field("stream", &label)
+                    .field("t", last.t)
+                    .field("positive_fraction", last.positive_fraction)
+                    .field("transition_rate", last.transition_rate),
+            );
+        }
         if json {
-            println!("{}", serde_json::to_string(&result).expect("serialise"));
+            println!("{}", result.to_json().compact());
             continue;
         }
         println!("== Figure 3 — {label}, N=4000, |R|=100 ==");
@@ -39,10 +53,7 @@ fn main() {
             } else {
                 // Terminal rendition: mean affinity per element bucket.
                 let means = bucket_means(snap, buckets);
-                let max = means
-                    .iter()
-                    .map(|m| m.abs())
-                    .fold(1.0f64, f64::max);
+                let max = means.iter().map(|m| m.abs()).fold(1.0f64, f64::max);
                 let bar: String = means
                     .iter()
                     .map(|&m| {
@@ -65,4 +76,11 @@ fn main() {
         }
         println!();
     }
+    em.config(
+        &Json::object()
+            .field("buckets", buckets)
+            .field("streams", ["Circular", "HalfRandom(300)"]),
+    );
+    em.stats(Json::object().field("final_snapshots", stream_stats));
+    em.write();
 }

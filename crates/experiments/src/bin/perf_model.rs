@@ -1,25 +1,38 @@
 //! §2.3/§2.4/§4.2 performance analysis: update-bus bandwidth, migration
 //! penalty, break-even `P_mig`, and speed-ups at sample `P_mig` values.
 //!
-//! Usage: `perf_model [--instr N] [--threads N] [--json]`
+//! Usage: `perf_model [--instr N] [--threads N] [--json] [--no-manifest]
+//!                     [--manifest-dir DIR]`
 
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::perf_model::{penalty_summary, render, run_all};
 use execmig_experiments::report::{arg_flag, arg_u64};
 use execmig_experiments::runner::default_threads;
 use execmig_machine::PipelineConfig;
+use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let instructions = arg_u64(&args, "--instr", 50_000_000);
     let threads = arg_u64(&args, "--threads", default_threads(18) as u64) as usize;
+    let mut em = ManifestEmitter::start("perf_model", &args);
+    em.budget(instructions);
+    em.config(
+        &Json::object()
+            .field("instructions", instructions)
+            .field("threads", threads),
+    );
 
     let rows = run_all(instructions, threads);
     let penalty = penalty_summary(PipelineConfig::default(), 10_000);
+    em.stats(
+        Json::object()
+            .field("rows", rows.len())
+            .field("penalty", &penalty),
+    );
     if arg_flag(&args, "--json") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&(&rows, &penalty)).expect("serialise")
-        );
+        println!("{}", (&rows, &penalty).to_json().pretty());
+        em.write();
         return;
     }
     println!("== §2.2/§2.4 — migration protocol penalty ==");
@@ -36,4 +49,5 @@ fn main() {
     println!("(P_mig below break-even ⇒ migration wins; paper derives ≈60 for mcf)");
     println!();
     println!("{}", render(&rows));
+    em.write();
 }

@@ -1,20 +1,36 @@
 //! Regenerates Table 1: the benchmark suite with instruction counts and
 //! 16 KB fully-associative L1 miss counts.
 //!
-//! Usage: `table1 [--instr N] [--threads N] [--csv] [--json]`
+//! Usage: `table1 [--instr N] [--threads N] [--csv] [--json]
+//!                 [--no-manifest] [--manifest-dir DIR]`
 
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64};
 use execmig_experiments::runner::default_threads;
 use execmig_experiments::table1;
+use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let instructions = arg_u64(&args, "--instr", 50_000_000);
     let threads = arg_u64(&args, "--threads", default_threads(18) as u64) as usize;
+    let mut em = ManifestEmitter::start("table1", &args);
+    em.budget(instructions);
+    em.config(
+        &Json::object()
+            .field("instructions", instructions)
+            .field("threads", threads),
+    );
 
     let rows = table1::run_all(instructions, threads);
+    em.stats(
+        Json::object()
+            .field("rows", rows.len())
+            .field("table", &rows),
+    );
     if arg_flag(&args, "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!("{}", rows.to_json().pretty());
+        em.write();
         return;
     }
     println!(
@@ -46,4 +62,5 @@ fn main() {
     } else {
         println!("{rendered}");
     }
+    em.write();
 }

@@ -3,30 +3,48 @@
 //! migration frequency, all in instructions per event.
 //!
 //! Usage: `table2 [--instr N] [--threads N] [--bench NAME] [--csv]
-//!                 [--json]`
+//!                 [--json] [--no-manifest] [--manifest-dir DIR]`
 
+use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
 use execmig_experiments::runner::default_threads;
 use execmig_experiments::table2;
+use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let instructions = arg_u64(&args, "--instr", 100_000_000);
     let threads = arg_u64(&args, "--threads", default_threads(18) as u64) as usize;
+    let mut em = ManifestEmitter::start("table2", &args);
+    em.budget(instructions);
+    em.config(
+        &Json::object()
+            .field("instructions", instructions)
+            .field("threads", threads)
+            .field("bench", arg_value(&args, "--bench")),
+    );
 
     let rows = match arg_value(&args, "--bench") {
         Some(name) => vec![table2::run_benchmark(&name, instructions)],
         None => table2::run_all(instructions, threads),
     };
+    em.stats(
+        Json::object()
+            .field("rows", rows.len())
+            .field("table", &rows),
+    );
     if arg_flag(&args, "--json") {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serialise"));
+        println!("{}", rows.to_json().pretty());
+        em.write();
         return;
     }
     println!(
         "== Table 2 — 4 cores, 512 KB 4-way skewed L2 each, {} M instructions ==",
         instructions / 1_000_000
     );
-    println!("(instructions per event, higher is better; ratio < 1 means migration removes L2 misses)");
+    println!(
+        "(instructions per event, higher is better; ratio < 1 means migration removes L2 misses)"
+    );
     println!();
     if arg_flag(&args, "--csv") {
         let mut t = execmig_experiments::TextTable::new(&[
@@ -65,4 +83,5 @@ fn main() {
         }
         println!("classification agreement with the paper: {agree}/{total}");
     }
+    em.write();
 }

@@ -11,10 +11,9 @@
 use execmig_core::{ControllerConfig, SplitWays};
 use execmig_machine::{Machine, MachineConfig};
 use execmig_trace::suite;
-use serde::Serialize;
 
 /// Result of one (benchmark, cores) cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CoreSweepPoint {
     /// Benchmark.
     pub name: String,
@@ -27,6 +26,14 @@ pub struct CoreSweepPoint {
     /// Instructions per L2 miss.
     pub l2_ipe: f64,
 }
+
+execmig_obs::impl_to_json!(CoreSweepPoint {
+    name,
+    cores,
+    ratio,
+    migration_ipe,
+    l2_ipe
+});
 
 /// Builds the machine for a core count.
 fn machine_for(cores: usize) -> Machine {
@@ -61,8 +68,7 @@ pub fn sweep(name: &str, core_counts: &[usize], instructions: u64) -> Vec<CoreSw
         .iter()
         .map(|&cores| {
             let mut machine = machine_for(cores);
-            let mut w = suite::by_name(name)
-                .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+            let mut w = suite::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
             machine.run(&mut *w, instructions);
             let s = machine.stats();
             let rate = s.l2_misses as f64 / s.instructions.max(1) as f64;

@@ -14,10 +14,9 @@
 use execmig_core::ControllerConfig;
 use execmig_machine::{Machine, MachineConfig};
 use execmig_trace::suite;
-use serde::Serialize;
 
 /// Result of one benchmark under both filter settings.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PointerFilterRow {
     /// Benchmark.
     pub name: String,
@@ -30,6 +29,14 @@ pub struct PointerFilterRow {
     /// Migrations per million instructions with pointer filtering.
     pub migr_per_minstr_pointer: f64,
 }
+
+execmig_obs::impl_to_json!(PointerFilterRow {
+    name,
+    ratio_plain,
+    migr_per_minstr_plain,
+    ratio_pointer,
+    migr_per_minstr_pointer
+});
 
 fn run_one(name: &str, pointer_filter: bool, instructions: u64) -> (f64, f64) {
     let mut baseline = Machine::new(MachineConfig::single_core());

@@ -16,10 +16,9 @@
 
 use execmig_machine::{Machine, MachineConfig, PrefetchConfig};
 use execmig_trace::suite;
-use serde::Serialize;
 
 /// L2 misses per kilo-instruction in each of the four configurations.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PrefetchRow {
     /// Benchmark.
     pub name: String,
@@ -32,6 +31,14 @@ pub struct PrefetchRow {
     /// 4 cores + migration + prefetch.
     pub both: f64,
 }
+
+execmig_obs::impl_to_json!(PrefetchRow {
+    name,
+    base,
+    base_prefetch,
+    migration,
+    both
+});
 
 fn misses_per_kinstr(config: MachineConfig, name: &str, instructions: u64) -> f64 {
     let mut machine = Machine::new(config);
@@ -55,11 +62,7 @@ pub fn run_benchmark(name: &str, degree: u32, instructions: u64) -> PrefetchRow 
             name,
             instructions,
         ),
-        migration: misses_per_kinstr(
-            MachineConfig::four_core_migration(),
-            name,
-            instructions,
-        ),
+        migration: misses_per_kinstr(MachineConfig::four_core_migration(), name, instructions),
         both: misses_per_kinstr(
             MachineConfig {
                 prefetch,

@@ -11,10 +11,9 @@
 use execmig_core::{Side, Splitter2, SplitterConfig};
 use execmig_trace::gen::{CircularWorkload, HalfRandomWorkload};
 use execmig_trace::Workload;
-use serde::Serialize;
 
 /// Which §3.3 stream to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fig3Stream {
     /// `Circular`: 0, 1, …, N−1, repeated.
     Circular,
@@ -25,8 +24,20 @@ pub enum Fig3Stream {
     },
 }
 
+impl execmig_obs::ToJson for Fig3Stream {
+    fn to_json(&self) -> execmig_obs::Json {
+        use execmig_obs::Json;
+        match self {
+            Fig3Stream::Circular => Json::Str("Circular".to_string()),
+            Fig3Stream::HalfRandom { m } => {
+                Json::object().field("HalfRandom", Json::object().field("m", *m))
+            }
+        }
+    }
+}
+
 /// Configuration of the Figure 3 experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Config {
     /// Working-set size `N` (paper: 4000).
     pub n: u64,
@@ -37,6 +48,13 @@ pub struct Fig3Config {
     /// The stream.
     pub stream: Fig3Stream,
 }
+
+execmig_obs::impl_to_json!(Fig3Config {
+    n,
+    r_window,
+    snapshots,
+    stream
+});
 
 impl Fig3Config {
     /// The paper's upper-row configuration.
@@ -59,7 +77,7 @@ impl Fig3Config {
 }
 
 /// One snapshot of the affinity landscape.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Snapshot {
     /// References processed when the snapshot was taken.
     pub t: u64,
@@ -72,14 +90,23 @@ pub struct Fig3Snapshot {
     pub transition_rate: f64,
 }
 
+execmig_obs::impl_to_json!(Fig3Snapshot {
+    t,
+    affinities,
+    positive_fraction,
+    transition_rate
+});
+
 /// The full Figure 3 result for one stream.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Result {
     /// The configuration that produced it.
     pub config: Fig3Config,
     /// One snapshot per requested time.
     pub snapshots: Vec<Fig3Snapshot>,
 }
+
+execmig_obs::impl_to_json!(Fig3Result { config, snapshots });
 
 /// Runs the experiment.
 ///
@@ -94,9 +121,7 @@ pub fn run(config: Fig3Config) -> Fig3Result {
     );
     let mut workload: Box<dyn Workload> = match config.stream {
         Fig3Stream::Circular => Box::new(CircularWorkload::new(config.n)),
-        Fig3Stream::HalfRandom { m } => {
-            Box::new(HalfRandomWorkload::new(config.n, m, 0x5eed))
-        }
+        Fig3Stream::HalfRandom { m } => Box::new(HalfRandomWorkload::new(config.n, m, 0x5eed)),
     };
     // Raw algorithm: no transition filter (§3.2/§3.3), subsets by
     // affinity sign.
@@ -115,11 +140,9 @@ pub fn run(config: Fig3Config) -> Fig3Result {
             splitter.on_reference(e);
             t += 1;
         }
-        let affinities: Vec<Option<i64>> =
-            (0..config.n).map(|e| splitter.affinity_of(e)).collect();
+        let affinities: Vec<Option<i64>> = (0..config.n).map(|e| splitter.affinity_of(e)).collect();
         let seen: Vec<i64> = affinities.iter().flatten().copied().collect();
-        let positive =
-            seen.iter().filter(|&&a| Side::of(a) == Side::Plus).count() as f64;
+        let positive = seen.iter().filter(|&&a| Side::of(a) == Side::Plus).count() as f64;
         let transitions = splitter.stats().transitions;
         let window_refs = (t - window_start_t).max(1);
         snapshots.push(Fig3Snapshot {
@@ -129,17 +152,13 @@ pub fn run(config: Fig3Config) -> Fig3Result {
             } else {
                 positive / seen.len() as f64
             },
-            transition_rate: (transitions - window_start_transitions) as f64
-                / window_refs as f64,
+            transition_rate: (transitions - window_start_transitions) as f64 / window_refs as f64,
             affinities,
         });
         window_start_transitions = transitions;
         window_start_t = t;
     }
-    Fig3Result {
-        config,
-        snapshots,
-    }
+    Fig3Result { config, snapshots }
 }
 
 /// Down-samples a snapshot into `buckets` mean-affinity buckets for
@@ -191,11 +210,7 @@ mod tests {
         // takes one sign, the upper half the other.
         let n = result.config.n as usize;
         let frac_of = |range: std::ops::Range<usize>| {
-            let vals: Vec<i64> = last.affinities[range]
-                .iter()
-                .flatten()
-                .copied()
-                .collect();
+            let vals: Vec<i64> = last.affinities[range].iter().flatten().copied().collect();
             vals.iter().filter(|&&a| a >= 0).count() as f64 / vals.len() as f64
         };
         let lower = frac_of(0..n / 2);

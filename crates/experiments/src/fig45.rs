@@ -13,14 +13,13 @@ use crate::l1filter::L1Filter;
 use execmig_cache::{LruStack, StackProfile};
 use execmig_core::{Splitter4, Splitter4Config};
 use execmig_trace::{suite, LineSize, Workload};
-use serde::Serialize;
 
 /// Maximum stack depth tracked exactly (lines). 512k lines = 32 MB,
 /// twice the largest plotted size.
 const MAX_DEPTH: usize = 512 << 10;
 
 /// Configuration of the stack-profile experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig45Config {
     /// Instruction budget per benchmark.
     pub instructions: u64,
@@ -29,6 +28,12 @@ pub struct Fig45Config {
     /// Plotted cache sizes in bytes (x axis; paper: 16 KB…16 MB).
     pub points_bytes: Vec<u64>,
 }
+
+execmig_obs::impl_to_json!(Fig45Config {
+    instructions,
+    line_bytes,
+    points_bytes
+});
 
 impl Fig45Config {
     /// The paper's setting at a given instruction budget: 64-byte
@@ -44,7 +49,7 @@ impl Fig45Config {
 }
 
 /// The profile curves of one benchmark.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig45Row {
     /// Benchmark name.
     pub name: String,
@@ -66,6 +71,15 @@ pub struct Fig45Row {
     pub split_gain_max: f64,
 }
 
+execmig_obs::impl_to_json!(Fig45Row {
+    name,
+    references,
+    points,
+    transition_rate,
+    split_gain,
+    split_gain_max
+});
+
 /// Runs one benchmark.
 ///
 /// # Panics
@@ -78,11 +92,7 @@ pub fn run_benchmark(name: &str, config: &Fig45Config) -> Fig45Row {
 }
 
 /// Runs any workload through the profile machinery.
-pub fn run_workload(
-    name: &str,
-    w: &mut (dyn Workload + Send),
-    config: &Fig45Config,
-) -> Fig45Row {
+pub fn run_workload(name: &str, w: &mut (dyn Workload + Send), config: &Fig45Config) -> Fig45Row {
     let line = LineSize::new(config.line_bytes).expect("valid line size");
     let mut filter = L1Filter::paper(line);
     // p1: one stack. p4: four stacks fed by the 4-way splitter.
@@ -138,16 +148,13 @@ pub fn run_workload(
 
 /// Runs the whole suite.
 pub fn run_all(config: &Fig45Config, threads: usize) -> Vec<Fig45Row> {
-    crate::runner::parallel_map(suite::names(), threads, |name| {
-        run_benchmark(name, config)
-    })
+    crate::runner::parallel_map(suite::names(), threads, |name| run_benchmark(name, config))
 }
 
 /// Renders the curves as a table: one row per benchmark and size.
 pub fn render(rows: &[Fig45Row]) -> String {
-    let mut t = crate::report::TextTable::new(&[
-        "benchmark", "size", "p1", "p4", "trans-rate", "gain",
-    ]);
+    let mut t =
+        crate::report::TextTable::new(&["benchmark", "size", "p1", "p4", "trans-rate", "gain"]);
     for r in rows {
         for &(bytes, p1, p4) in &r.points {
             t.row(&[

@@ -114,7 +114,10 @@ mod tests {
         let mut f = L1Filter::paper(LineSize::DEFAULT);
         let addr = Addr::new(0x3000);
         assert!(f.filter(Access::store(addr)).is_some());
-        assert!(f.filter(Access::load(addr)).is_none(), "load after store hits");
+        assert!(
+            f.filter(Access::load(addr)).is_none(),
+            "load after store hits"
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod ext_prefetch;
 pub mod fig3;
 pub mod fig45;
 pub mod l1filter;
+pub mod manifest;
 pub mod perf_model;
 pub mod report;
 pub mod runner;

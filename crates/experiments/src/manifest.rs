@@ -1,0 +1,108 @@
+//! Run-manifest emission shared by every experiment binary.
+//!
+//! Each binary records *what ran* — config, workload scaling flags,
+//! wall clock, crate version, and headline stats — as
+//! `manifests/<binary>.json`, so a result directory is reproducible on
+//! its own. Opt out with `--no-manifest`; redirect with
+//! `--manifest-dir DIR`.
+
+use std::path::PathBuf;
+
+use execmig_obs::{Json, RunManifest, Stopwatch, ToJson};
+
+use crate::report::{arg_flag, arg_value};
+
+/// Collects manifest fields over a binary's run and writes the JSON on
+/// [`ManifestEmitter::write`].
+#[derive(Debug)]
+pub struct ManifestEmitter {
+    manifest: RunManifest,
+    watch: Stopwatch,
+    dir: Option<PathBuf>,
+}
+
+impl ManifestEmitter {
+    /// Starts the wall clock, honouring `--no-manifest` and
+    /// `--manifest-dir DIR` in `args`.
+    pub fn start(binary: &str, args: &[String]) -> ManifestEmitter {
+        let dir = if arg_flag(args, "--no-manifest") {
+            None
+        } else {
+            Some(PathBuf::from(
+                arg_value(args, "--manifest-dir").unwrap_or_else(|| "manifests".to_string()),
+            ))
+        };
+        ManifestEmitter {
+            manifest: RunManifest::new(binary),
+            watch: Stopwatch::start(),
+            dir,
+        }
+    }
+
+    /// Records the full experiment configuration.
+    pub fn config(&mut self, config: &impl ToJson) {
+        self.manifest.config = config.to_json();
+    }
+
+    /// Records the workload seed.
+    pub fn seed(&mut self, seed: u64) {
+        self.manifest.workload_seed = Some(seed);
+    }
+
+    /// Records the instruction (or reference) budget.
+    pub fn budget(&mut self, budget: u64) {
+        self.manifest.instruction_budget = Some(budget);
+    }
+
+    /// Records headline statistics.
+    pub fn stats(&mut self, stats: Json) {
+        self.manifest.stats = stats;
+    }
+
+    /// Stamps the wall clock and writes `dir/<binary>.json` (unless
+    /// suppressed), reporting the path — or the failure — on stderr.
+    pub fn write(mut self) {
+        let Some(dir) = self.dir.take() else {
+            return;
+        };
+        self.manifest.finish(&self.watch);
+        match self.manifest.write_under(&dir) {
+            Ok(path) => eprintln!("manifest: {}", path.display()),
+            Err(e) => eprintln!("manifest: write failed under {}: {e}", dir.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_manifest_flag_suppresses_output() {
+        let em = ManifestEmitter::start("unit", &strings(&["--no-manifest"]));
+        assert!(em.dir.is_none());
+        em.write(); // must not create anything
+        assert!(!std::path::Path::new("manifests/unit.json").exists());
+    }
+
+    #[test]
+    fn manifest_dir_is_honoured() {
+        let dir = std::env::temp_dir().join("execmig-manifest-emitter-test");
+        let args = strings(&["--manifest-dir", dir.to_str().unwrap()]);
+        let mut em = ManifestEmitter::start("emitter_unit", &args);
+        em.config(&Json::object().field("cores", 4u64));
+        em.seed(7);
+        em.budget(1000);
+        em.stats(Json::object().field("rows", 3u64));
+        em.write();
+        let path = dir.join("emitter_unit.json");
+        let body = std::fs::read_to_string(&path).expect("manifest written");
+        assert!(body.contains("\"workload_seed\": 7"));
+        assert!(body.contains("\"instruction_budget\": 1000"));
+        std::fs::remove_file(path).ok();
+    }
+}

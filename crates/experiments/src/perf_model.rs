@@ -10,10 +10,9 @@ use execmig_machine::{
     MigrationProtocol, PerfModel, PipelineConfig, UpdateBusConfig,
 };
 use execmig_trace::suite;
-use serde::Serialize;
 
 /// Performance analysis of one benchmark.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PerfRow {
     /// Benchmark.
     pub name: String,
@@ -29,6 +28,15 @@ pub struct PerfRow {
     /// Speed-up at `P_mig` = 60.
     pub speedup_pmig60: f64,
 }
+
+execmig_obs::impl_to_json!(PerfRow {
+    name,
+    break_even_pmig,
+    bus_bytes_per_instr,
+    bus_bytes_per_cycle_ipc2,
+    speedup_pmig10,
+    speedup_pmig60
+});
 
 /// Runs the per-benchmark analysis.
 ///
@@ -95,7 +103,7 @@ pub fn render(rows: &[PerfRow]) -> String {
 }
 
 /// The protocol-level migration-penalty summary (§2.2/§2.4).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PenaltySummary {
     /// Closed-form penalty (drain + broadcast + stages) in cycles.
     pub analytic_cycles: u64,
@@ -104,6 +112,12 @@ pub struct PenaltySummary {
     /// The paper's §2.3 bus estimate in bytes/cycle at 4-wide retire.
     pub paper_bus_estimate: f64,
 }
+
+execmig_obs::impl_to_json!(PenaltySummary {
+    analytic_cycles,
+    mean_cycles,
+    paper_bus_estimate
+});
 
 /// Computes the penalty summary for a pipeline configuration.
 pub fn penalty_summary(config: PipelineConfig, samples: u64) -> PenaltySummary {

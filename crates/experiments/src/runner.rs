@@ -1,6 +1,55 @@
-//! Thread-parallel experiment execution.
+//! Thread-parallel experiment execution, with span-timer telemetry.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use execmig_obs::{Json, SpanSet, ToJson};
+
+/// Wall-clock telemetry of one [`parallel_map_timed`] run: per-task
+/// spans (which thread ran what, when, for how long) and the derived
+/// per-thread utilisation.
+#[derive(Debug)]
+pub struct RunnerReport {
+    /// The recorded spans, one per task.
+    pub spans: SpanSet,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock µs from first task start to last task end.
+    pub wall_us: u64,
+}
+
+impl RunnerReport {
+    /// Busy µs per worker thread.
+    pub fn thread_busy_micros(&self) -> Vec<u64> {
+        self.spans.thread_busy_micros()
+    }
+
+    /// Aggregate utilisation: total busy time / (threads × wall).
+    pub fn utilisation(&self) -> f64 {
+        self.spans.utilisation(self.threads, self.wall_us)
+    }
+
+    /// One line per the report, for stderr diagnostics.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} tasks on {} threads in {:.1} ms, {:.0}% utilisation",
+            self.spans.spans().len(),
+            self.threads,
+            self.wall_us as f64 / 1000.0,
+            self.utilisation() * 100.0
+        )
+    }
+}
+
+impl ToJson for RunnerReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("threads", self.threads)
+            .field("wall_us", self.wall_us)
+            .field("utilisation", self.utilisation())
+            .field("thread_busy_us", self.thread_busy_micros())
+            .field("spans", self.spans.spans())
+    }
+}
 
 /// Applies `f` to every item on up to `threads` worker threads,
 /// preserving input order in the output.
@@ -20,10 +69,33 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_timed(items, threads, f).0
+}
+
+/// Like [`parallel_map`], additionally returning a [`RunnerReport`]
+/// with per-task span timers and per-thread utilisation.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if `f` panics on a worker thread.
+pub fn parallel_map_timed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> (Vec<R>, RunnerReport)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     assert!(threads > 0, "need at least one thread");
     let n = items.len();
+    let spans = SpanSet::new();
     if n == 0 {
-        return Vec::new();
+        return (
+            Vec::new(),
+            RunnerReport {
+                spans,
+                threads,
+                wall_us: 0,
+            },
+        );
     }
     let threads = threads.min(n);
     let next = AtomicUsize::new(0);
@@ -35,8 +107,13 @@ where
     let outputs: Vec<std::sync::Mutex<Option<R>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
+        for worker in 0..threads {
+            let spans = &spans;
+            let next = &next;
+            let inputs = &inputs;
+            let outputs = &outputs;
+            let f = &f;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -46,15 +123,24 @@ where
                     .expect("input lock")
                     .take()
                     .expect("item claimed twice");
-                let result = f(item);
+                let result = spans.time(&format!("task-{i}"), worker, || f(item));
                 *outputs[i].lock().expect("output lock") = Some(result);
             });
         }
     });
-    outputs
+    let wall_us = spans.wall_micros();
+    let results = outputs
         .into_iter()
         .map(|m| m.into_inner().expect("output lock").expect("worker died"))
-        .collect()
+        .collect();
+    (
+        results,
+        RunnerReport {
+            spans,
+            threads,
+            wall_us,
+        },
+    )
 }
 
 /// A sensible worker count: the machine's parallelism, at most `cap`.
@@ -94,6 +180,26 @@ mod tests {
     fn more_threads_than_items() {
         let out = parallel_map(vec![1], 16, |x| x + 1);
         assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn timed_map_reports_spans() {
+        let (out, report) = parallel_map_timed((0..20).collect(), 4, |x: u64| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x + 1
+        });
+        assert_eq!(out.len(), 20);
+        assert_eq!(out[7], 8);
+        let spans = report.spans.spans();
+        assert_eq!(spans.len(), 20, "one span per task");
+        assert!(spans.iter().all(|s| s.thread < 4));
+        assert!(report.wall_us > 0);
+        let u = report.utilisation();
+        assert!(u > 0.0 && u <= 1.0, "utilisation {u}");
+        assert!(report.summary().contains("20 tasks"));
+        // JSON export carries the spans.
+        use execmig_obs::ToJson;
+        assert!(report.to_json().get("spans").is_some());
     }
 
     #[test]

@@ -9,10 +9,9 @@
 
 use crate::l1filter::L1Filter;
 use execmig_trace::{suite, LineSize};
-use serde::Serialize;
 
 /// One Table 1 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Benchmark name.
     pub name: String,
@@ -29,6 +28,16 @@ pub struct Table1Row {
     /// DL1 misses per 1000 instructions.
     pub dl1_per_kinstr: f64,
 }
+
+execmig_obs::impl_to_json!(Table1Row {
+    name,
+    class,
+    instructions,
+    il1_misses,
+    dl1_misses,
+    il1_per_kinstr,
+    dl1_per_kinstr
+});
 
 /// Runs one benchmark through the §4.1 L1 filter.
 ///
@@ -109,20 +118,13 @@ mod tests {
     fn data_benchmarks_have_negligible_imisses() {
         for name in ["swim", "mcf", "bh", "em3d"] {
             let r = run_benchmark(name, 1_000_000);
-            assert!(
-                r.il1_per_kinstr < 0.5,
-                "{name} i-miss {}",
-                r.il1_per_kinstr
-            );
+            assert!(r.il1_per_kinstr < 0.5, "{name} i-miss {}", r.il1_per_kinstr);
         }
     }
 
     #[test]
     fn render_includes_all_rows() {
-        let rows = vec![
-            run_benchmark("bh", 200_000),
-            run_benchmark("mst", 200_000),
-        ];
+        let rows = vec![run_benchmark("bh", 200_000), run_benchmark("mst", 200_000)];
         let s = render(&rows);
         assert!(s.contains("bh"));
         assert!(s.contains("mst"));

@@ -11,10 +11,9 @@
 
 use execmig_machine::{Machine, MachineConfig};
 use execmig_trace::suite;
-use serde::Serialize;
 
 /// One Table 2 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Benchmark name.
     pub name: String,
@@ -43,6 +42,22 @@ pub struct Table2Row {
     /// Update-bus bytes per instruction in the migration run.
     pub bus_bytes_per_instr: f64,
 }
+
+execmig_obs::impl_to_json!(Table2Row {
+    name,
+    class,
+    instructions,
+    l1_ipe,
+    l2_ipe,
+    l2x4_ipe,
+    ratio,
+    migration_ipe,
+    migrations,
+    paper_ratio,
+    affinity_miss_rate,
+    l2_forwards,
+    bus_bytes_per_instr
+});
 
 /// Runs one benchmark at the given instruction budget.
 ///

@@ -121,8 +121,7 @@ pub fn compare_training(
 ) -> BranchTrainingOutcome {
     assert!(window <= rotate, "window longer than the residency");
     let run = |broadcast: bool| -> (f64, f64) {
-        let mut predictors: Vec<Gshare> =
-            (0..cores).map(|_| Gshare::new(12, 8)).collect();
+        let mut predictors: Vec<Gshare> = (0..cores).map(|_| Gshare::new(12, 8)).collect();
         let mut stream = BranchStream::new(statics, seed);
         let mut post_wrong = 0u64;
         let mut post_total = 0u64;
@@ -198,14 +197,12 @@ mod tests {
         let out = compare_training(4, 500, 5_000, 500, 40, 7);
         // Trained predictors: post-migration ≈ steady state.
         assert!(
-            out.post_migration_mispredicts_trained
-                < out.steady_mispredicts * 1.3 + 0.02,
+            out.post_migration_mispredicts_trained < out.steady_mispredicts * 1.3 + 0.02,
             "{out:?}"
         );
         // Stale predictors pay on arrival: measurably worse.
         assert!(
-            out.post_migration_mispredicts_stale
-                > out.post_migration_mispredicts_trained + 0.01,
+            out.post_migration_mispredicts_stale > out.post_migration_mispredicts_trained + 0.01,
             "{out:?}"
         );
     }

@@ -137,8 +137,7 @@ impl UpdateBus {
 pub fn paper_estimate_bytes_per_cycle(config: &UpdateBusConfig, width: u64) -> f64 {
     // All `width` instructions broadcast register identifiers + values;
     // one store and one branch add their extra payloads.
-    (width * config.bytes_per_reg_write + config.bytes_per_store + config.bytes_per_branch)
-        as f64
+    (width * config.bytes_per_reg_write + config.bytes_per_store + config.bytes_per_branch) as f64
 }
 
 #[cfg(test)]

@@ -49,7 +49,7 @@ pub mod timeline;
 
 pub use bus::{UpdateBus, UpdateBusConfig};
 pub use config::{CacheGeometry, MachineConfig, PrefetchConfig};
-pub use machine::Machine;
+pub use machine::{Machine, MAX_CORES};
 pub use perf::{PerfModel, PerfSummary};
 pub use pipeline::{MigrationProtocol, PipelineConfig, ProtocolOutcome};
 pub use regcache::{RegCacheConfig, RegCacheStats, RegUpdateCache};

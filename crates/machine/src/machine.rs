@@ -2,11 +2,16 @@
 
 use execmig_cache::Cache;
 use execmig_core::MigrationController;
+use execmig_obs::{EventKind, Histogram, Registry, Tracer};
 use execmig_trace::{AccessKind, LineAddr, LineSize, Workload};
 
 use crate::bus::UpdateBus;
 use crate::config::MachineConfig;
 use crate::stats::MachineStats;
+
+/// Upper bound on the core count (see [`MachineConfig::validate`]),
+/// sizing the per-core occupancy counters.
+pub const MAX_CORES: usize = 8;
 
 /// The multi-core machine in migration mode.
 ///
@@ -30,6 +35,14 @@ pub struct Machine {
     active: usize,
     stats: MachineStats,
     last_instructions: u64,
+    /// Instructions executed on each core (occupancy).
+    core_instructions: [u64; MAX_CORES],
+    /// Instructions between consecutive migrations.
+    inter_arrival: Histogram,
+    /// Instruction count at the last migration.
+    last_migration_at: u64,
+    /// Event tracer (zero-sized no-op without the `trace` feature).
+    tracer: Tracer,
 }
 
 impl Machine {
@@ -63,6 +76,10 @@ impl Machine {
             active: 0,
             stats: MachineStats::default(),
             last_instructions: 0,
+            core_instructions: [0; MAX_CORES],
+            inter_arrival: Histogram::new(),
+            last_migration_at: 0,
+            tracer: Tracer::with_capacity(execmig_obs::tracer::DEFAULT_CAPACITY),
         }
     }
 
@@ -84,6 +101,77 @@ impl Machine {
     /// The migration controller, if configured.
     pub fn controller(&self) -> Option<&MigrationController> {
         self.controller.as_ref()
+    }
+
+    /// The event tracer. Without the `trace` feature this is a
+    /// zero-sized no-op whose `events()` is always empty.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Instructions executed on each core. Only the first
+    /// [`MachineConfig::cores`] entries can be non-zero.
+    pub fn core_instructions(&self) -> &[u64; MAX_CORES] {
+        &self.core_instructions
+    }
+
+    /// Distribution of instruction distances between consecutive
+    /// migrations (the first migration measures from instruction 0).
+    pub fn migration_interarrival(&self) -> &Histogram {
+        &self.inter_arrival
+    }
+
+    /// The machine's metrics as a named registry: every
+    /// [`MachineStats`] counter, per-core occupancy counters, the
+    /// migration inter-arrival / filter-dwell / affinity-age
+    /// histograms, and controller gauges. Registry snapshots delta
+    /// cleanly across windows (see `execmig_obs::Registry`).
+    pub fn metrics(&self) -> Registry {
+        let s = &self.stats;
+        let mut r = Registry::new();
+        for (name, v) in [
+            ("instructions", s.instructions),
+            ("accesses", s.accesses),
+            ("ifetches", s.ifetches),
+            ("loads", s.loads),
+            ("stores", s.stores),
+            ("il1_misses", s.il1_misses),
+            ("dl1_misses", s.dl1_misses),
+            ("l1_requests", s.l1_requests),
+            ("l2_accesses", s.l2_accesses),
+            ("l2_misses", s.l2_misses),
+            ("l2_to_l2_forwards", s.l2_to_l2_forwards),
+            ("l3_fetches", s.l3_fetches),
+            ("l3_writebacks", s.l3_writebacks),
+            ("migrations", s.migrations),
+            ("store_broadcast_updates", s.store_broadcast_updates),
+            ("prefetch_fills", s.prefetch_fills),
+            ("l3_misses", s.l3_misses),
+            ("bus_reg_bytes", s.bus.reg_bytes),
+            ("bus_store_bytes", s.bus.store_bytes),
+            ("bus_branch_bytes", s.bus.branch_bytes),
+            ("bus_l1_mirror_bytes", s.bus.l1_mirror_bytes),
+            ("bus_update_bytes", s.bus.update_bus_bytes()),
+        ] {
+            r.counter(name, v);
+        }
+        for (c, &instr) in self
+            .core_instructions
+            .iter()
+            .enumerate()
+            .take(self.config.cores)
+        {
+            r.counter(&format!("core{c}_instructions"), instr);
+        }
+        r.histogram("migration_interarrival_instr", &self.inter_arrival);
+        if let Some(mc) = &self.controller {
+            r.histogram("filter_dwell_requests", mc.dwell_histogram());
+            if let Some(ages) = mc.affinity_age_histogram() {
+                r.histogram("affinity_age_at_eviction", ages);
+            }
+            r.gauge("affinity_table_miss_rate", mc.table_stats().miss_rate());
+        }
+        r
     }
 
     /// Runs `workload` until at least `instructions` dynamic
@@ -122,6 +210,7 @@ impl Machine {
         let delta_instr = instructions_now.saturating_sub(self.last_instructions);
         self.last_instructions = instructions_now;
         self.stats.instructions = instructions_now;
+        self.core_instructions[self.active] += delta_instr;
         let is_store = kind.is_store();
         self.bus
             .charge_instructions(delta_instr, u64::from(is_store));
@@ -134,6 +223,7 @@ impl Machine {
                     self.stats.il1_misses += 1;
                     self.il1.fill(line, false);
                     self.bus.charge_l1_mirror(self.line.bytes());
+                    self.tracer.emit(instructions_now, EventKind::BusBroadcast);
                     self.l1_request(line, pointer);
                 }
             }
@@ -143,6 +233,7 @@ impl Machine {
                     self.stats.dl1_misses += 1;
                     self.dl1.fill(line, false);
                     self.bus.charge_l1_mirror(self.line.bytes());
+                    self.tracer.emit(instructions_now, EventKind::BusBroadcast);
                     self.l1_request(line, pointer);
                 }
             }
@@ -171,6 +262,7 @@ impl Machine {
         let l2_hit = self.l2[self.active].lookup(line);
         if !l2_hit {
             self.stats.l2_misses += 1;
+            self.tracer.emit(self.stats.instructions, EventKind::L2Miss);
             self.serve_l2_miss(line, false);
             self.prefetch_after(line);
         }
@@ -207,6 +299,7 @@ impl Machine {
             self.l2[self.active].set_modified(line, true);
         } else {
             self.stats.l2_misses += 1;
+            self.tracer.emit(self.stats.instructions, EventKind::L2Miss);
             self.serve_l2_miss(line, true);
         }
         // Store broadcast (§2.3): inactive copies are refreshed and
@@ -266,10 +359,37 @@ impl Machine {
         let Some(mc) = self.controller.as_mut() else {
             return;
         };
+        let at = self.stats.instructions;
+        // Splitter/table counters are pre-read only in trace builds:
+        // `Tracer::ACTIVE` is a compile-time constant, so without the
+        // `trace` feature this bookkeeping is dead code the optimiser
+        // removes and the hot path is unchanged.
+        let (flips_before, table_misses_before) = if Tracer::ACTIVE {
+            (mc.splitter_stats().transitions, mc.table_stats().misses)
+        } else {
+            (0, 0)
+        };
         let target = mc.on_request_tagged(line.raw(), l2_miss, pointer);
+        if Tracer::ACTIVE {
+            if mc.splitter_stats().transitions > flips_before {
+                self.tracer.emit(at, EventKind::TransitionFlip);
+            }
+            if mc.table_stats().misses > table_misses_before {
+                self.tracer.emit(at, EventKind::AffinityCacheMiss);
+            }
+        }
         if target != self.active {
+            self.tracer.emit(
+                at,
+                EventKind::Migration {
+                    from: self.active as u8,
+                    to: target as u8,
+                },
+            );
             self.active = target;
             self.stats.migrations += 1;
+            self.inter_arrival.observe(at - self.last_migration_at);
+            self.last_migration_at = at;
         }
     }
 }
@@ -480,6 +600,63 @@ mod tests {
         let mut w = suite::by_name("swim").unwrap();
         m.run(&mut *w, 1_000_000);
         assert_eq!(m.stats().l3_misses, 0);
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_stats() {
+        let mut m = Machine::new(MachineConfig::four_core_migration());
+        let mut w = suite::by_name("art").unwrap();
+        m.run(&mut *w, 3_000_000);
+        let r = m.metrics();
+        let s = m.stats();
+        assert_eq!(r.counter_value("l2_misses"), Some(s.l2_misses));
+        assert_eq!(r.counter_value("migrations"), Some(s.migrations));
+        assert_eq!(r.counter_value("instructions"), Some(s.instructions));
+        // Occupancy counters cover exactly the configured cores and sum
+        // to the instruction total.
+        assert!(r.counter_value("core3_instructions").is_some());
+        assert!(r.counter_value("core4_instructions").is_none());
+        let occupancy: u64 = (0..4)
+            .map(|c| r.counter_value(&format!("core{c}_instructions")).unwrap())
+            .sum();
+        assert_eq!(occupancy, s.instructions);
+        // One inter-arrival sample per migration.
+        assert_eq!(m.migration_interarrival().count(), s.migrations);
+        assert!(m.migration_interarrival().sum() <= s.instructions);
+        // Controller histograms are exposed under stable names.
+        match r.get("filter_dwell_requests") {
+            Some(execmig_obs::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count(), m.controller().unwrap().stats().migrations)
+            }
+            other => panic!("filter_dwell_requests {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tracer_matches_feature_mode() {
+        let mut m = Machine::new(MachineConfig::four_core_migration());
+        let mut w = suite::by_name("art").unwrap();
+        m.run(&mut *w, 2_000_000);
+        if Tracer::ACTIVE {
+            let events = m.tracer().events();
+            assert!(!events.is_empty());
+            // Timestamps are monotonic.
+            for pair in events.windows(2) {
+                assert!(pair[0].at <= pair[1].at);
+            }
+            let migrations = events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Migration { .. }))
+                .count() as u64;
+            assert!(migrations <= m.stats().migrations);
+            assert!(
+                migrations == m.stats().migrations || m.tracer().dropped() > 0,
+                "missing migration events without drops"
+            );
+        } else {
+            assert!(m.tracer().events().is_empty());
+            assert_eq!(m.tracer().emitted(), 0);
+        }
     }
 
     #[test]

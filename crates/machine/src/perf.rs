@@ -103,8 +103,7 @@ pub fn break_even_pmig(baseline: &MachineStats, migration: &MachineStats) -> Opt
     let b_rate = baseline.l2_misses as f64 / baseline.instructions.max(1) as f64;
     let m_rate = migration.l2_misses as f64 / migration.instructions.max(1) as f64;
     let removed_per_instr = b_rate - m_rate;
-    let migrations_per_instr =
-        migration.migrations as f64 / migration.instructions.max(1) as f64;
+    let migrations_per_instr = migration.migrations as f64 / migration.instructions.max(1) as f64;
     Some(removed_per_instr / migrations_per_instr)
 }
 

@@ -179,11 +179,9 @@ pub fn simulate(
     seed: u64,
 ) -> RegCacheStats {
     let mut cache = RegUpdateCache::new(config, seed);
-    let spill_every = if migrations > 0 {
-        (reg_writes / migrations).max(1)
-    } else {
-        u64::MAX
-    };
+    let spill_every = (reg_writes.checked_div(migrations))
+        .map(|n| n.max(1))
+        .unwrap_or(u64::MAX);
     for i in 0..reg_writes {
         cache.on_reg_write();
         if i % spill_every == spill_every - 1 {
@@ -224,9 +222,10 @@ mod tests {
         );
         assert_eq!(
             stats.writes,
-            stats.coalesced + stats.evict_broadcasts + stats.spilled_entries
-                + (stats.writes - stats.coalesced - stats.evict_broadcasts
-                    - stats.spilled_entries)
+            stats.coalesced
+                + stats.evict_broadcasts
+                + stats.spilled_entries
+                + (stats.writes - stats.coalesced - stats.evict_broadcasts - stats.spilled_entries)
         );
     }
 

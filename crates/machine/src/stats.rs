@@ -1,6 +1,35 @@
 //! Event counters collected by the machine.
 
 use crate::bus::UpdateBusStats;
+use execmig_obs::impl_to_json;
+
+impl_to_json!(UpdateBusStats {
+    reg_bytes,
+    store_bytes,
+    branch_bytes,
+    l1_mirror_bytes
+});
+
+impl_to_json!(MachineStats {
+    instructions,
+    accesses,
+    ifetches,
+    loads,
+    stores,
+    il1_misses,
+    dl1_misses,
+    l1_requests,
+    l2_accesses,
+    l2_misses,
+    l2_to_l2_forwards,
+    l3_fetches,
+    l3_writebacks,
+    migrations,
+    store_broadcast_updates,
+    prefetch_fills,
+    l3_misses,
+    bus
+});
 
 /// Event counters for one simulation run.
 ///

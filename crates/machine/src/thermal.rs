@@ -75,9 +75,8 @@ impl ThermalModel {
             *t *= decay;
             if i == active {
                 // Heat input integrated against the decay.
-                let gain = self.config.heat_per_kinstr
-                    * (1.0 - decay)
-                    / self.config.cooling_per_kinstr;
+                let gain =
+                    self.config.heat_per_kinstr * (1.0 - decay) / self.config.cooling_per_kinstr;
                 *t += gain;
             }
             if *t > self.peak {

@@ -3,10 +3,16 @@
 //! Aggregate counts hide the *dynamics* of execution migration: when
 //! the controller learns a split, how execution rotates among the
 //! cores, what a phase change costs. [`record`] runs a machine in
-//! fixed instruction windows and snapshots the per-window deltas.
+//! fixed instruction windows and snapshots the per-window deltas —
+//! cache misses, migrations, *and* the controller's inner state
+//! (transition flips, designated subset, affinity-cache hit rate,
+//! per-core occupancy), so filter flips suppressed by L2 filtering are
+//! visible too.
 
-use crate::machine::Machine;
+use crate::machine::{Machine, MAX_CORES};
 use crate::stats::MachineStats;
+use execmig_core::TableStats;
+use execmig_obs::impl_to_json;
 use execmig_trace::Workload;
 
 /// One instruction window's activity.
@@ -16,13 +22,39 @@ pub struct TimelineSample {
     pub instructions: u64,
     /// L2 misses within the window.
     pub l2_misses: u64,
+    /// DL1 misses within the window.
+    pub dl1_misses: u64,
     /// Migrations within the window.
     pub migrations: u64,
+    /// Transition-filter flips within the window (≥ migrations: L2
+    /// filtering can suppress the move but the splitter still flipped).
+    pub transitions: u64,
     /// L1-miss requests within the window.
     pub l1_requests: u64,
     /// Core executing at the end of the window.
     pub active_core: usize,
+    /// Working-set subset designated at the end of the window (0
+    /// without a controller).
+    pub subset: usize,
+    /// Instructions executed per core within the window.
+    pub occupancy: [u64; MAX_CORES],
+    /// Affinity-cache hit rate within the window (0 when the window
+    /// performed no table reads or no controller is configured).
+    pub affinity_hit_rate: f64,
 }
+
+impl_to_json!(TimelineSample {
+    instructions,
+    l2_misses,
+    dl1_misses,
+    migrations,
+    transitions,
+    l1_requests,
+    active_core,
+    subset,
+    occupancy,
+    affinity_hit_rate
+});
 
 impl TimelineSample {
     /// L2 misses per kilo-instruction in this window.
@@ -45,25 +77,68 @@ pub fn record<W: Workload + ?Sized>(
 ) -> Vec<TimelineSample> {
     assert!(window > 0, "window must be positive");
     let mut samples = Vec::new();
-    let mut prev = *machine.stats();
+    let mut prev = Baseline::of(machine);
     let mut at = workload.instructions();
     while at < total_instructions {
         at = (at + window).min(total_instructions);
         machine.run(workload, at);
-        let now = *machine.stats();
-        samples.push(delta_sample(&prev, &now, machine.active_core()));
+        let now = Baseline::of(machine);
+        samples.push(now.delta_sample(&prev, machine));
         prev = now;
     }
     samples
 }
 
-fn delta_sample(prev: &MachineStats, now: &MachineStats, core: usize) -> TimelineSample {
-    TimelineSample {
-        instructions: now.instructions,
-        l2_misses: now.l2_misses - prev.l2_misses,
-        migrations: now.migrations - prev.migrations,
-        l1_requests: now.l1_requests - prev.l1_requests,
-        active_core: core,
+/// Cumulative counters at a window boundary.
+struct Baseline {
+    stats: MachineStats,
+    transitions: u64,
+    table: TableStats,
+    core_instructions: [u64; MAX_CORES],
+}
+
+impl Baseline {
+    fn of(machine: &Machine) -> Baseline {
+        Baseline {
+            stats: *machine.stats(),
+            transitions: machine
+                .controller()
+                .map(|c| c.splitter_stats().transitions)
+                .unwrap_or(0),
+            table: machine
+                .controller()
+                .map(|c| c.table_stats())
+                .unwrap_or_default(),
+            core_instructions: *machine.core_instructions(),
+        }
+    }
+
+    fn delta_sample(&self, prev: &Baseline, machine: &Machine) -> TimelineSample {
+        let mut occupancy = [0u64; MAX_CORES];
+        for (c, slot) in occupancy.iter_mut().enumerate() {
+            *slot = self.core_instructions[c] - prev.core_instructions[c];
+        }
+        let reads = (self.table.hits - prev.table.hits) + (self.table.misses - prev.table.misses);
+        let affinity_hit_rate = if reads == 0 {
+            0.0
+        } else {
+            (self.table.hits - prev.table.hits) as f64 / reads as f64
+        };
+        TimelineSample {
+            instructions: self.stats.instructions,
+            l2_misses: self.stats.l2_misses - prev.stats.l2_misses,
+            dl1_misses: self.stats.dl1_misses - prev.stats.dl1_misses,
+            migrations: self.stats.migrations - prev.stats.migrations,
+            transitions: self.transitions - prev.transitions,
+            l1_requests: self.stats.l1_requests - prev.stats.l1_requests,
+            active_core: machine.active_core(),
+            subset: machine
+                .controller()
+                .map(|c| c.current_subset())
+                .unwrap_or(0),
+            occupancy,
+            affinity_hit_rate,
+        }
     }
 }
 
@@ -82,6 +157,8 @@ mod tests {
         assert!(samples.last().unwrap().instructions >= 1_000_000);
         let total: u64 = samples.iter().map(|s| s.l2_misses).sum();
         assert_eq!(total, m.stats().l2_misses);
+        let dl1: u64 = samples.iter().map(|s| s.dl1_misses).sum();
+        assert_eq!(dl1, m.stats().dl1_misses);
     }
 
     #[test]
@@ -108,6 +185,46 @@ mod tests {
         let cores: std::collections::HashSet<usize> =
             samples.iter().map(|s| s.active_core).collect();
         assert!(cores.len() >= 2, "never left core {:?}", cores);
+    }
+
+    #[test]
+    fn rich_fields_are_consistent() {
+        let mut m = Machine::new(MachineConfig::four_core_migration());
+        let mut w = suite::by_name("art").unwrap();
+        let window = 500_000;
+        let samples = record(&mut m, &mut *w, 5_000_000, window);
+        let mut prev_instr = 0;
+        for s in &samples {
+            // Occupancy accounts for every instruction in the window.
+            let occ: u64 = s.occupancy.iter().sum();
+            assert_eq!(occ, s.instructions - prev_instr, "occupancy ≠ window");
+            prev_instr = s.instructions;
+            // A migration is always a transition; the converse can be
+            // suppressed by L2 filtering.
+            assert!(s.transitions >= s.migrations, "{s:?}");
+            assert!(s.subset < 4);
+            assert!((0.0..=1.0).contains(&s.affinity_hit_rate));
+        }
+        let migrations: u64 = samples.iter().map(|s| s.migrations).sum();
+        assert_eq!(migrations, m.stats().migrations);
+        // art migrates, so some window must show a flip.
+        assert!(samples.iter().any(|s| s.transitions > 0));
+    }
+
+    #[test]
+    fn samples_serialise_to_json() {
+        use execmig_obs::ToJson;
+        let mut m = Machine::new(MachineConfig::single_core());
+        let mut w = suite::by_name("twolf").unwrap();
+        let samples = record(&mut m, &mut *w, 200_000, 100_000);
+        let j = samples.to_json();
+        let first = match &j {
+            execmig_obs::Json::Arr(items) => &items[0],
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert!(first.get("dl1_misses").is_some());
+        assert!(first.get("transitions").is_some());
+        assert!(first.get("occupancy").is_some());
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Typed trace events with monotonic instruction timestamps.
+
+use crate::json::{Json, ToJson};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The active core changed.
+    Migration {
+        /// Core that was executing.
+        from: u8,
+        /// Core that executes next.
+        to: u8,
+    },
+    /// A transition filter changed sign (the splitter designated a new
+    /// subset — visible even when L2 filtering suppresses the move).
+    TransitionFlip,
+    /// The affinity cache missed and forced `A_e = 0`.
+    AffinityCacheMiss,
+    /// A request missed the active core's L2.
+    L2Miss,
+    /// The update bus broadcast an L1 fill to the inactive mirrors.
+    BusBroadcast,
+}
+
+impl EventKind {
+    /// Stable lowercase label, used by exporters and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Migration { .. } => "migration",
+            EventKind::TransitionFlip => "transition_flip",
+            EventKind::AffinityCacheMiss => "affinity_cache_miss",
+            EventKind::L2Miss => "l2_miss",
+            EventKind::BusBroadcast => "bus_broadcast",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Retired-instruction count when the event occurred. Monotonic
+    /// within a run (the machine stamps events with the workload's
+    /// cumulative instruction counter).
+    pub at: u64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object()
+            .field("at", self.at)
+            .field("kind", self.kind.label());
+        if let EventKind::Migration { from, to } = self.kind {
+            obj = obj.field("from", from).field("to", to);
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EventKind::Migration { from: 0, to: 2 }.label(), "migration");
+        assert_eq!(EventKind::TransitionFlip.label(), "transition_flip");
+        assert_eq!(EventKind::AffinityCacheMiss.label(), "affinity_cache_miss");
+        assert_eq!(EventKind::L2Miss.label(), "l2_miss");
+        assert_eq!(EventKind::BusBroadcast.label(), "bus_broadcast");
+    }
+
+    #[test]
+    fn migration_json_carries_cores() {
+        let e = TraceEvent {
+            at: 9,
+            kind: EventKind::Migration { from: 1, to: 3 },
+        };
+        assert_eq!(
+            e.to_json().compact(),
+            r#"{"at":9,"kind":"migration","from":1,"to":3}"#
+        );
+        let e = TraceEvent {
+            at: 10,
+            kind: EventKind::L2Miss,
+        };
+        assert_eq!(e.to_json().compact(), r#"{"at":10,"kind":"l2_miss"}"#);
+    }
+}

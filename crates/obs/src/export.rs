@@ -1,0 +1,181 @@
+//! Exporters: JSON, CSV, and Prometheus-style text exposition for a
+//! metrics [`Registry`].
+
+use crate::json::{Json, ToJson};
+use crate::metrics::{Histogram, MetricValue, Registry, BUCKETS};
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = (0..BUCKETS)
+            .filter(|&i| self.bucket_counts()[i] > 0)
+            .map(|i| {
+                Json::object()
+                    .field("le", Histogram::bucket_upper(i))
+                    .field("count", self.bucket_counts()[i])
+            })
+            .collect();
+        Json::object()
+            .field("count", self.count())
+            .field("sum", self.sum())
+            .field("min", self.min())
+            .field("max", self.max())
+            .field("mean", self.mean())
+            .field("p50", self.quantile(0.50))
+            .field("p90", self.quantile(0.90))
+            .field("p99", self.quantile(0.99))
+            .field("buckets", Json::Arr(buckets))
+    }
+}
+
+impl ToJson for Registry {
+    fn to_json(&self) -> Json {
+        let mut counters = Json::object();
+        let mut gauges = Json::object();
+        let mut histograms = Json::object();
+        for (name, value) in self.iter() {
+            match value {
+                MetricValue::Counter(v) => counters = counters.field(name, *v),
+                MetricValue::Gauge(v) => gauges = gauges.field(name, *v),
+                MetricValue::Histogram(h) => histograms = histograms.field(name, h),
+            }
+        }
+        Json::object()
+            .field("counters", counters)
+            .field("gauges", gauges)
+            .field("histograms", histograms)
+    }
+}
+
+/// Restricts a metric name to the Prometheus charset
+/// (`[a-zA-Z0-9_:]`, no leading digit).
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Renders `registry` in the Prometheus text exposition format.
+/// Histograms emit cumulative `_bucket{le=…}` series plus `_sum` and
+/// `_count`, matching the native histogram convention.
+pub fn to_prometheus(registry: &Registry, prefix: &str) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.iter() {
+        let full = sanitize(&format!("{prefix}{name}"));
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {full} counter\n{full} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {full} gauge\n{full} {v}\n"));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {full} histogram\n"));
+                let mut cumulative = 0u64;
+                for i in 0..BUCKETS {
+                    let c = h.bucket_counts()[i];
+                    if c == 0 {
+                        continue;
+                    }
+                    cumulative += c;
+                    out.push_str(&format!(
+                        "{full}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        Histogram::bucket_upper(i)
+                    ));
+                }
+                out.push_str(&format!("{full}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                out.push_str(&format!("{full}_sum {}\n", h.sum()));
+                out.push_str(&format!("{full}_count {}\n", h.count()));
+            }
+        }
+    }
+    out
+}
+
+/// Renders `registry` as CSV (`metric,kind,value` rows; histograms
+/// expand into `count`/`sum`/`mean`/`p50`/`p99`/`max` rows).
+pub fn to_csv(registry: &Registry) -> String {
+    let mut out = String::from("metric,kind,value\n");
+    for (name, value) in registry.iter() {
+        match value {
+            MetricValue::Counter(v) => out.push_str(&format!("{name},counter,{v}\n")),
+            MetricValue::Gauge(v) => out.push_str(&format!("{name},gauge,{v}\n")),
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("{name}_count,histogram,{}\n", h.count()));
+                out.push_str(&format!("{name}_sum,histogram,{}\n", h.sum()));
+                out.push_str(&format!("{name}_mean,histogram,{}\n", h.mean()));
+                out.push_str(&format!("{name}_p50,histogram,{}\n", h.quantile(0.5)));
+                out.push_str(&format!("{name}_p99,histogram,{}\n", h.quantile(0.99)));
+                out.push_str(&format!("{name}_max,histogram,{}\n", h.max()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        r.counter("l2_misses", 42);
+        r.gauge("miss_rate", 0.25);
+        let mut h = Histogram::new();
+        h.observe(1);
+        h.observe(1);
+        h.observe(6);
+        r.histogram("dwell", &h);
+        r
+    }
+
+    // Golden test: the exposition formats are a contract with external
+    // scrapers/plotters — any change here must be deliberate.
+    #[test]
+    fn golden_prometheus_exposition() {
+        let text = to_prometheus(&sample_registry(), "execmig_");
+        assert_eq!(
+            text,
+            "\
+# TYPE execmig_l2_misses counter
+execmig_l2_misses 42
+# TYPE execmig_miss_rate gauge
+execmig_miss_rate 0.25
+# TYPE execmig_dwell histogram
+execmig_dwell_bucket{le=\"1\"} 2
+execmig_dwell_bucket{le=\"7\"} 3
+execmig_dwell_bucket{le=\"+Inf\"} 3
+execmig_dwell_sum 8
+execmig_dwell_count 3
+"
+        );
+    }
+
+    #[test]
+    fn golden_json_exposition() {
+        let json = sample_registry().to_json().compact();
+        assert_eq!(
+            json,
+            r#"{"counters":{"l2_misses":42},"gauges":{"miss_rate":0.25},"histograms":{"dwell":{"count":3,"sum":8,"min":1,"max":6,"mean":2.6666666666666665,"p50":1,"p90":6,"p99":6,"buckets":[{"le":1,"count":2},{"le":7,"count":1}]}}}"#
+        );
+    }
+
+    #[test]
+    fn csv_rows() {
+        let csv = to_csv(&sample_registry());
+        assert!(csv.starts_with("metric,kind,value\n"));
+        assert!(csv.contains("l2_misses,counter,42\n"));
+        assert!(csv.contains("dwell_count,histogram,3\n"));
+        assert!(csv.contains("dwell_p50,histogram,1\n"));
+    }
+
+    #[test]
+    fn names_are_sanitised() {
+        let mut r = Registry::new();
+        r.counter("bus.bytes/instr", 1);
+        let text = to_prometheus(&r, "");
+        assert!(text.contains("bus_bytes_instr 1"));
+    }
+}

@@ -1,0 +1,354 @@
+//! A minimal JSON value model and serialiser.
+//!
+//! The workspace is dependency-free by policy (ROADMAP: no external
+//! crates), so exporters build on this instead of serde. [`ToJson`] is
+//! the workspace's serialisation trait; the [`impl_to_json!`] macro
+//! derives it for plain structs so exporters don't hand-roll field
+//! lists.
+
+use std::collections::BTreeMap;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float. Non-finite values serialise as `null` (JSON has no
+    /// NaN/∞ literals).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an empty object.
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds a field (builder style). Panics if `self` is not an object.
+    pub fn field(mut self, key: &str, value: impl ToJson) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.to_json())),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Looks a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Compact one-line rendering.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation (the layout
+    /// `serde_json::to_string_pretty` produced in earlier revisions, so
+    /// downstream plotting scripts keep working).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Num(v) => out.push_str(&fmt_f64(*v)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+/// Formats a float the way `serde_json` does: integral values keep a
+/// trailing `.0`, non-finite values become `null`.
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value. Implemented for primitives and the
+/// usual containers; derive it for structs with [`impl_to_json!`].
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(f64::from(*self))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    };
+}
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Derives [`ToJson`] for a struct: each listed field becomes an object
+/// key of the same name, serialised with the field type's own `ToJson`.
+///
+/// ```
+/// use execmig_obs::{impl_to_json, ToJson};
+/// struct Row { name: String, hits: u64 }
+/// impl_to_json!(Row { name, hits });
+/// let j = Row { name: "art".into(), hits: 3 }.to_json();
+/// assert_eq!(j.compact(), r#"{"name":"art","hits":3}"#);
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)*
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(Json::Null.compact(), "null");
+        assert_eq!(true.to_json().compact(), "true");
+        assert_eq!(42u64.to_json().compact(), "42");
+        assert_eq!((-7i64).to_json().compact(), "-7");
+        assert_eq!(1.5f64.to_json().compact(), "1.5");
+        assert_eq!(2.0f64.to_json().compact(), "2.0", "integral float keeps .0");
+        assert_eq!(f64::NAN.to_json().compact(), "null");
+        assert_eq!(f64::INFINITY.to_json().compact(), "null");
+        assert_eq!("a\"b\n".to_json().compact(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn containers_render() {
+        assert_eq!(vec![1u64, 2].to_json().compact(), "[1,2]");
+        assert_eq!(Option::<u64>::None.to_json().compact(), "null");
+        assert_eq!(Some(3u64).to_json().compact(), "3");
+        assert_eq!((1u64, 0.5f64).to_json().compact(), "[1,0.5]");
+    }
+
+    #[test]
+    fn pretty_matches_serde_layout() {
+        let j = Json::object()
+            .field("a", 1u64)
+            .field("b", vec![true, false]);
+        assert_eq!(
+            j.pretty(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    false\n  ]\n}"
+        );
+        assert_eq!(Json::object().pretty(), "{}");
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+    }
+
+    #[test]
+    fn macro_derives_field_order() {
+        struct S {
+            x: u64,
+            y: f64,
+            tag: Option<String>,
+        }
+        impl_to_json!(S { x, y, tag });
+        let s = S {
+            x: 1,
+            y: 0.25,
+            tag: None,
+        };
+        assert_eq!(s.to_json().compact(), r#"{"x":1,"y":0.25,"tag":null}"#);
+        assert_eq!(s.to_json().get("x"), Some(&Json::UInt(1)));
+    }
+}

@@ -1,0 +1,36 @@
+//! Observability layer for the execution-migration workspace.
+//!
+//! Five pieces, all dependency-free:
+//!
+//! - [`tracer`]: a feature-gated event tracer. With the `trace` feature
+//!   on, [`Tracer`] records typed events ([`EventKind`]) with monotonic
+//!   instruction timestamps in a fixed-capacity [`EventRing`]; with it
+//!   off, `Tracer` is zero-sized and every method is an empty
+//!   `#[inline(always)]` body — instrumented hot paths cost nothing.
+//! - [`metrics`]: named counters/gauges/log-2 [`Histogram`]s in a
+//!   [`Registry`] with snapshot/delta semantics.
+//! - [`export`]: JSON, CSV, and Prometheus text exposition.
+//! - [`manifest`]: a [`RunManifest`] JSON artefact per experiment run.
+//! - [`span`]: wall-clock [`SpanSet`] timers for parallel runners.
+//!
+//! Serialisation rides on the in-tree [`Json`]/[`ToJson`] model (the
+//! workspace builds offline, with no external crates); structs derive
+//! `ToJson` via [`impl_to_json!`].
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod ring;
+pub mod span;
+pub mod tracer;
+
+pub use event::{EventKind, TraceEvent};
+pub use export::{to_csv, to_prometheus};
+pub use json::{Json, ToJson};
+pub use manifest::RunManifest;
+pub use metrics::{Histogram, MetricValue, Registry};
+pub use ring::EventRing;
+pub use span::{Span, SpanSet, Stopwatch};
+pub use tracer::Tracer;

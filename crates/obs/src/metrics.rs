@@ -1,0 +1,426 @@
+//! Metrics: counters, gauges, log-2 histograms, and a named registry
+//! with snapshot/delta semantics.
+//!
+//! Histograms are power-of-two bucketed — the natural shape for the
+//! quantities this repo cares about (migration inter-arrival distance,
+//! filter dwell time, affinity-cache age-at-eviction), all of which
+//! span many decades. Bucket 0 holds the value 0; bucket `k` (1..=64)
+//! holds values in `[2^(k-1), 2^k)`.
+
+/// Number of histogram buckets (value 0 + one per power of two).
+pub const BUCKETS: usize = 65;
+
+/// A log-2 bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index holding `value`.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Largest value bucket `i` can hold (inclusive).
+    pub fn bucket_upper(i: usize) -> u64 {
+        assert!(i < BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            0
+        } else if i == 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-bucket sample counts.
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Upper bound (inclusive) of the bucket containing the
+    /// `q`-quantile (`0.0..=1.0`); 0 when empty. Log-2 bucketing makes
+    /// this exact to within a factor of two — plenty for dwell/distance
+    /// distributions.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Samples recorded since `earlier` (per-bucket subtraction).
+    /// `earlier` must be a previous snapshot of this histogram.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for i in 0..BUCKETS {
+            out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        // min/max of the delta window are not recoverable from
+        // snapshots; keep the conservative envelope.
+        out.min = self.min;
+        out.max = self.max;
+        if out.count == 0 {
+            out.min = u64::MAX;
+            out.max = 0;
+        }
+        out
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for i in 0..BUCKETS {
+            self.counts[i] += other.counts[i];
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// A compact ASCII rendering: one line per non-empty bucket with a
+    /// proportional bar. Used by `obs_report`.
+    pub fn render(&self, width: usize) -> String {
+        if self.count == 0 {
+            return "  (empty)\n".to_string();
+        }
+        let peak = *self.counts.iter().max().unwrap();
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((c as f64 / peak as f64) * width as f64).ceil() as usize);
+            let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+            out.push_str(&format!(
+                "  [{:>12} .. {:>12}] {:>10}  {}\n",
+                lo,
+                Self::bucket_upper(i),
+                c,
+                bar
+            ));
+        }
+        out.push_str(&format!(
+            "  count {}  mean {:.1}  p50 {}  p99 {}  max {}\n",
+            self.count,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.max()
+        ));
+        out
+    }
+}
+
+/// A metric's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Point-in-time measurement.
+    Gauge(f64),
+    /// Log-2 bucketed sample distribution.
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics.
+///
+/// A `Registry` is cheap to clone; a clone *is* a snapshot, and
+/// [`delta_since`](Registry::delta_since) subtracts one snapshot from a
+/// later one (counters and histogram buckets subtract; gauges keep the
+/// later value).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    metrics: Vec<(String, MetricValue)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn upsert(&mut self, name: &str, value: MetricValue) {
+        match self.metrics.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.metrics.push((name.to_string(), value)),
+        }
+    }
+
+    /// Sets a counter.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.upsert(name, MetricValue::Counter(value));
+    }
+
+    /// Sets a gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.upsert(name, MetricValue::Gauge(value));
+    }
+
+    /// Registers a histogram (cloned).
+    pub fn histogram(&mut self, name: &str, value: &Histogram) {
+        self.upsert(name, MetricValue::Histogram(value.clone()));
+    }
+
+    /// Metric count.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when no metric is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// All metrics, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// A counter's value, if `name` is a counter.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A point-in-time copy (registries are plain data, so this is just
+    /// a clone — named for intent at call sites).
+    pub fn snapshot(&self) -> Registry {
+        self.clone()
+    }
+
+    /// The change since `earlier`: counters and histograms subtract,
+    /// gauges keep `self`'s value, metrics absent from `earlier` pass
+    /// through unchanged.
+    pub fn delta_since(&self, earlier: &Registry) -> Registry {
+        let mut out = Registry::new();
+        for (name, value) in &self.metrics {
+            let delta = match (value, earlier.get(name)) {
+                (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                    MetricValue::Counter(now.saturating_sub(*then))
+                }
+                (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                    MetricValue::Histogram(now.delta_since(then))
+                }
+                (v, _) => v.clone(),
+            };
+            out.metrics.push((name.clone(), delta));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        // Every bucket's upper bound maps back into it.
+        for i in 0..BUCKETS {
+            assert_eq!(
+                Histogram::bucket_of(Histogram::bucket_upper(i)),
+                i,
+                "bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn observe_accumulates() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        for v in [0, 1, 1, 5, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1007);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.bucket_counts()[0], 1); // 0
+        assert_eq!(h.bucket_counts()[1], 2); // 1, 1
+        assert_eq!(h.bucket_counts()[3], 1); // 5
+        assert_eq!(h.bucket_counts()[10], 1); // 1000
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(10);
+        }
+        for _ in 0..10 {
+            h.observe(100_000);
+        }
+        assert_eq!(h.quantile(0.5), 15, "p50 in the [8,16) bucket");
+        assert!(h.quantile(0.99) >= 65_536, "p99 in the tail bucket");
+        assert_eq!(h.quantile(1.0), h.max().min(Histogram::bucket_upper(17)));
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn delta_subtracts_buckets() {
+        let mut h = Histogram::new();
+        h.observe(4);
+        h.observe(9);
+        let snap = h.clone();
+        h.observe(9);
+        h.observe(300);
+        let d = h.delta_since(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 309);
+        assert_eq!(d.bucket_counts()[4], 1); // the new 9
+        assert_eq!(d.bucket_counts()[9], 1); // 300
+        assert_eq!(d.bucket_counts()[3], 0); // 4 was before the snapshot
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Histogram::new();
+        a.observe(1);
+        let mut b = Histogram::new();
+        b.observe(64);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 64);
+        assert_eq!(a.min(), 1);
+    }
+
+    #[test]
+    fn registry_snapshot_delta() {
+        let mut r = Registry::new();
+        r.counter("migrations", 10);
+        r.gauge("miss_rate", 0.5);
+        let mut h = Histogram::new();
+        h.observe(3);
+        r.histogram("dwell", &h);
+
+        let snap = r.snapshot();
+        r.counter("migrations", 25);
+        r.gauge("miss_rate", 0.25);
+        h.observe(7);
+        r.histogram("dwell", &h);
+
+        let d = r.delta_since(&snap);
+        assert_eq!(d.counter_value("migrations"), Some(15));
+        assert_eq!(d.get("miss_rate"), Some(&MetricValue::Gauge(0.25)));
+        match d.get("dwell") {
+            Some(MetricValue::Histogram(dh)) => {
+                assert_eq!(dh.count(), 1);
+                assert_eq!(dh.sum(), 7);
+            }
+            other => panic!("dwell delta {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_is_nonempty() {
+        let mut h = Histogram::new();
+        h.observe(2);
+        h.observe(70);
+        let r = h.render(20);
+        assert!(r.contains("count 2"));
+        assert!(r.contains('#'));
+        assert!(Histogram::new().render(20).contains("empty"));
+    }
+}

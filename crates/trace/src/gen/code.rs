@@ -103,8 +103,7 @@ impl CodeFeed {
             funcs.push((at, len));
             at += len;
         }
-        let hot_count =
-            ((funcs.len() as u64 * params.hot_set_permille) / 1000).max(1) as usize;
+        let hot_count = ((funcs.len() as u64 * params.hot_set_permille) / 1000).max(1) as usize;
         let walk_rng = rng.fork(0xc0de + 1);
         CodeFeed {
             model: CodeModel::Walk {

@@ -113,11 +113,14 @@ impl HotRandomWorkload {
         if let Some((cursor, left)) = self.run {
             let addr = self.hot_addr(cursor);
             let next = (cursor + 1) % self.hot_lines();
-            self.run = if left > 1 { Some((next, left - 1)) } else { None };
+            self.run = if left > 1 {
+                Some((next, left - 1))
+            } else {
+                None
+            };
             return addr;
         }
-        if self.params.cold_bytes > 0 && self.rng.chance(self.params.cold_ppm, 1_000_000)
-        {
+        if self.params.cold_bytes > 0 && self.rng.chance(self.params.cold_ppm, 1_000_000) {
             // Cold excursion: the cold region lives past the hot
             // region's maximum extent (window slides are bounded well
             // below 1 GiB in any practical run).
@@ -230,10 +233,7 @@ mod tests {
         let early_max = data[..100].iter().max().unwrap();
         let late_min = data[data.len() - 100..].iter().min().unwrap();
         assert!(*early_max < 256 + 10);
-        assert!(
-            *late_min > 256,
-            "window did not slide: late min {late_min}"
-        );
+        assert!(*late_min > 256, "window did not slide: late min {late_min}");
     }
 
     #[test]
@@ -244,10 +244,7 @@ mod tests {
         };
         let accesses = run(p, 50_000);
         let data: Vec<_> = accesses.iter().filter(|a| a.kind.is_data()).collect();
-        let stores = data
-            .iter()
-            .filter(|a| a.kind == AccessKind::Store)
-            .count();
+        let stores = data.iter().filter(|a| a.kind == AccessKind::Store).count();
         let frac = stores as f64 / data.len() as f64;
         assert!((0.25..0.35).contains(&frac), "store fraction {frac}");
     }

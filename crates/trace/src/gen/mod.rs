@@ -32,7 +32,7 @@ mod pointer;
 mod sweep;
 
 pub use abstracts::{CircularWorkload, HalfRandomWorkload};
-pub use code::{CodeHeavyWorkload, CodeHeavyParams, CodeFeed, CodeWalkParams};
+pub use code::{CodeFeed, CodeHeavyParams, CodeHeavyWorkload, CodeWalkParams};
 pub use hot_random::{HotRandomParams, HotRandomWorkload};
 pub use phases::{BlockPhaseParams, BlockPhaseWorkload};
 pub use pointer::{PointerRingParams, PointerRingWorkload, RingGrowth};

@@ -148,7 +148,7 @@ impl PointerRingWorkload {
             self.live = (self.live + g.per_pass).min(self.params.nodes);
         }
         if let Some(every) = self.params.relink_every_passes {
-            if self.pass % every == 0 {
+            if self.pass.is_multiple_of(every) {
                 // Re-link: shuffle the live prefix of the traversal order.
                 let live = self.live as usize;
                 self.rng.shuffle(&mut self.order[..live]);
@@ -213,9 +213,7 @@ impl Workload for PointerRingWorkload {
         let addr = Addr::new(self.next_data_addr());
         let instrs = self.budget.step();
         self.code.charge(instrs);
-        if self.params.store_permille > 0
-            && self.rng.chance(self.params.store_permille, 1000)
-        {
+        if self.params.store_permille > 0 && self.rng.chance(self.params.store_permille, 1000) {
             Access::store(addr)
         } else {
             // Traversal loads chase links: tag them as pointer loads.

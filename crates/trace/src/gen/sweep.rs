@@ -67,7 +67,10 @@ impl SweepWorkload {
     /// Panics if there are no arrays, an array is empty, or a stride is 0.
     pub fn new(name: &'static str, params: SweepParams, seed: u64) -> Self {
         assert!(!params.arrays.is_empty(), "need at least one array");
-        assert!(params.arrays.iter().all(|&b| b >= 64), "arrays must hold a line");
+        assert!(
+            params.arrays.iter().all(|&b| b >= 64),
+            "arrays must hold a line"
+        );
         assert!(!params.strides.is_empty(), "need at least one stride");
         assert!(params.strides.iter().all(|&s| s > 0), "strides must be > 0");
         let bases = (0..params.arrays.len() as u64).map(region_base).collect();
@@ -129,9 +132,7 @@ impl Workload for SweepWorkload {
         };
         let instrs = self.budget.step();
         self.code.charge(instrs);
-        if self.params.store_permille > 0
-            && self.rng.chance(self.params.store_permille, 1000)
-        {
+        if self.params.store_permille > 0 && self.rng.chance(self.params.store_permille, 1000) {
             Access::store(Addr::new(addr))
         } else {
             Access::load(Addr::new(addr))

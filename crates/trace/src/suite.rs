@@ -8,9 +8,9 @@
 //! [`all`]; DESIGN.md §2 records the overall substitution argument.
 
 use crate::gen::{
-    BlockPhaseParams, BlockPhaseWorkload, CodeHeavyParams, CodeHeavyWorkload,
-    CodeWalkParams, HotRandomParams, HotRandomWorkload, PointerRingParams,
-    PointerRingWorkload, RingGrowth, SweepParams, SweepWorkload,
+    BlockPhaseParams, BlockPhaseWorkload, CodeHeavyParams, CodeHeavyWorkload, CodeWalkParams,
+    HotRandomParams, HotRandomWorkload, PointerRingParams, PointerRingWorkload, RingGrowth,
+    SweepParams, SweepWorkload,
 };
 use crate::rng::Rng;
 use crate::workload::BoxedWorkload;

@@ -77,7 +77,10 @@ impl Workload for GatherStencil {
 
 fn main() {
     let instructions = 30_000_000u64;
-    println!("custom workload: 1.6 MB gather/stencil kernel, {} M instructions\n", instructions / 1_000_000);
+    println!(
+        "custom workload: 1.6 MB gather/stencil kernel, {} M instructions\n",
+        instructions / 1_000_000
+    );
 
     let mut baseline = Machine::new(MachineConfig::single_core());
     baseline.run(&mut GatherStencil::new(42), instructions);
@@ -87,15 +90,23 @@ fn main() {
 
     let b = baseline.stats();
     let m = migration.stats();
-    println!("baseline : L2 miss every {:>6.0} instructions", b.instr_per_l2_miss());
-    println!("migration: L2 miss every {:>6.0} instructions, migration every {:>8.0}",
-        m.instr_per_l2_miss(), m.instr_per_migration());
-    let ratio = (m.l2_misses as f64 / m.instructions as f64)
-        / (b.l2_misses as f64 / b.instructions as f64);
-    println!("L2-miss ratio: {ratio:.2} ({}).",
+    println!(
+        "baseline : L2 miss every {:>6.0} instructions",
+        b.instr_per_l2_miss()
+    );
+    println!(
+        "migration: L2 miss every {:>6.0} instructions, migration every {:>8.0}",
+        m.instr_per_l2_miss(),
+        m.instr_per_migration()
+    );
+    let ratio =
+        (m.l2_misses as f64 / m.instructions as f64) / (b.l2_misses as f64 / b.instructions as f64);
+    println!(
+        "L2-miss ratio: {ratio:.2} ({}).",
         if ratio < 0.9 {
             "the stencil phase is splittable - migration helps"
         } else {
             "no benefit"
-        });
+        }
+    );
 }

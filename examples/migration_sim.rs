@@ -17,11 +17,17 @@ fn main() {
         .unwrap_or(20_000_000);
 
     let info = suite::info(bench).unwrap_or_else(|| {
-        eprintln!("unknown benchmark {bench:?}; choose one of {:?}", suite::names());
+        eprintln!(
+            "unknown benchmark {bench:?}; choose one of {:?}",
+            suite::names()
+        );
         std::process::exit(1);
     });
     println!("benchmark: {bench} ({})", info.model);
-    println!("simulating 2 x {} M instructions...\n", instructions / 1_000_000);
+    println!(
+        "simulating 2 x {} M instructions...\n",
+        instructions / 1_000_000
+    );
 
     // Baseline: one core, one 512 KB L2.
     let mut baseline = Machine::new(MachineConfig::single_core());
@@ -46,12 +52,9 @@ fn main() {
         b.instr_per_l2_miss(),
         m.instr_per_l2_miss()
     );
-    println!(
-        "migrations          {:>10}   {:>10}",
-        "-", m.migrations
-    );
-    let ratio = (m.l2_misses as f64 / m.instructions as f64)
-        / (b.l2_misses as f64 / b.instructions as f64);
+    println!("migrations          {:>10}   {:>10}", "-", m.migrations);
+    let ratio =
+        (m.l2_misses as f64 / m.instructions as f64) / (b.l2_misses as f64 / b.instructions as f64);
     println!(
         "\nL2-miss ratio (migration/baseline): {ratio:.2}  (paper reports {:.2})",
         info.paper_ratio

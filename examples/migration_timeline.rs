@@ -2,20 +2,30 @@
 //! misses, migrations, and the active core.
 //!
 //! Run with: `cargo run --release --example migration_timeline -- [bench] [instr]`
+//!
+//! Pass `--json` to dump the full sample series (per-core occupancy,
+//! transition flips, affinity-cache hit rate, …) as a JSON array for
+//! plotting.
 
 use execution_migration::machine::timeline::record;
 use execution_migration::machine::{Machine, MachineConfig};
+use execution_migration::obs::ToJson;
 use execution_migration::trace::suite;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let args: Vec<String> = args.into_iter().filter(|a| a != "--json").collect();
     let bench = args.first().map(String::as_str).unwrap_or("art");
     let instructions: u64 = args
         .get(1)
         .map(|s| s.parse().expect("instruction count"))
         .unwrap_or(20_000_000);
     if suite::info(bench).is_none() {
-        eprintln!("unknown benchmark {bench:?}; choose one of {:?}", suite::names());
+        eprintln!(
+            "unknown benchmark {bench:?}; choose one of {:?}",
+            suite::names()
+        );
         std::process::exit(1);
     }
 
@@ -24,7 +34,15 @@ fn main() {
     let mut workload = suite::by_name(bench).unwrap();
     let samples = record(&mut machine, &mut *workload, instructions, window);
 
-    println!("{bench}: {} windows of {} instructions", samples.len(), window);
+    if json {
+        println!("{}", samples.to_json().pretty());
+        return;
+    }
+    println!(
+        "{bench}: {} windows of {} instructions",
+        samples.len(),
+        window
+    );
     println!("window  core  migrations  L2 misses/kinstr");
     let max_density = samples
         .iter()

@@ -15,10 +15,16 @@ fn main() {
         .unwrap_or(20_000_000);
 
     if suite::info(bench).is_none() {
-        eprintln!("unknown benchmark {bench:?}; choose one of {:?}", suite::names());
+        eprintln!(
+            "unknown benchmark {bench:?}; choose one of {:?}",
+            suite::names()
+        );
         std::process::exit(1);
     }
-    println!("stack profiles for {bench} over {} M instructions", instructions / 1_000_000);
+    println!(
+        "stack profiles for {bench} over {} M instructions",
+        instructions / 1_000_000
+    );
     println!("p1 = single LRU stack, p4 = 4-way affinity split (lower is better)\n");
 
     let row = run_benchmark(bench, &Fig45Config::paper(instructions));

@@ -12,6 +12,9 @@
 //!   transition filter, working-set sampling, and the migration controller
 //! - [`machine`] — the 4-core machine model with migration-mode coherence
 //! - [`experiments`] — runners that regenerate every table and figure
+//! - [`obs`] — observability: feature-gated event tracing, metrics
+//!   (counters/gauges/log-2 histograms), JSON/CSV/Prometheus exporters,
+//!   run manifests, and span timers
 //!
 //! # Quickstart
 //!
@@ -40,4 +43,5 @@ pub use execmig_cache as cache;
 pub use execmig_core as core;
 pub use execmig_experiments as experiments;
 pub use execmig_machine as machine;
+pub use execmig_obs as obs;
 pub use execmig_trace as trace;

@@ -2,7 +2,7 @@
 //! generation through cache simulation, the affinity controller, and
 //! the machine model.
 
-use execution_migration::core::{ControllerConfig, MigrationController};
+use execution_migration::core::ControllerConfig;
 use execution_migration::machine::{Machine, MachineConfig};
 use execution_migration::trace::{suite, Workload};
 
