@@ -1,0 +1,115 @@
+//! Diagnostics and their text/JSON renderings.
+
+/// One finding: a catalog rule violated at a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Catalog rule id (`E001`…).
+    pub rule: &'static str,
+    /// Path relative to the linted root.
+    pub path: String,
+    /// 1-based line (0 when the finding is file-level).
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        rule: &'static str,
+        path: impl Into<String>,
+        line: u32,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            rule,
+            path: path.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// `rule path:line: message` lines, sorted for stable output.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut lines: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            if d.line == 0 {
+                format!("{} {}: {}", d.rule, d.path, d.message)
+            } else {
+                format!("{} {}:{}: {}", d.rule, d.path, d.line, d.message)
+            }
+        })
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// A JSON report: `{"count": N, "diagnostics": [{…}, …]}`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
+    let mut out = String::from("{");
+    out.push_str(&format!("\"count\":{},\"diagnostics\":[", sorted.len()));
+    for (i, d) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            esc(d.rule),
+            esc(&d.path),
+            d.line,
+            esc(&d.message)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_and_json_render() {
+        let diags = vec![
+            Diagnostic::new("E004", "crates/core/src/sat.rs", 12, "call to .unwrap()"),
+            Diagnostic::new("E001", "crates/cache/Cargo.toml", 0, "depends on \"x\""),
+        ];
+        let text = render_text(&diags);
+        assert!(text.starts_with("E001 crates/cache/Cargo.toml: "));
+        assert!(text.contains("E004 crates/core/src/sat.rs:12: "));
+        let json = render_json(&diags);
+        assert!(json.starts_with("{\"count\":2,"));
+        assert!(json.contains("\"rule\":\"E001\""));
+        assert!(json.contains("depends on \\\"x\\\""));
+    }
+
+    #[test]
+    fn empty_report() {
+        assert_eq!(render_text(&[]), "");
+        assert_eq!(render_json(&[]), "{\"count\":0,\"diagnostics\":[]}");
+    }
+}

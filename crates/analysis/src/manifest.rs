@@ -1,0 +1,210 @@
+//! A minimal Cargo.toml reader.
+//!
+//! Parses exactly the shapes this workspace uses: section headers,
+//! `key = value` lines (dotted keys, strings, booleans, inline tables,
+//! and possibly multi-line string arrays), and `#` comments. It is not
+//! a general TOML parser — unknown constructs are skipped, never
+//! fatal, since cargo itself validates the real syntax.
+
+/// One `[dependencies]` entry.
+#[derive(Debug, Clone)]
+pub struct Dep {
+    /// Dependency (package) name.
+    pub name: String,
+    /// The `features = […]` list, if any.
+    pub features: Vec<String>,
+    /// 1-based line of the entry.
+    pub line: u32,
+}
+
+/// The parts of a manifest the rules look at.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// `[package] name`, if the manifest declares a package.
+    pub package_name: Option<String>,
+    /// Normal `[dependencies]` (dev/build deps are not rule-relevant).
+    pub dependencies: Vec<Dep>,
+    /// `[features]` as (name, enabled list) pairs.
+    pub features: Vec<(String, Vec<String>)>,
+}
+
+/// Parses manifest text. Never fails: unknown lines are skipped.
+pub fn parse(text: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line_no = (idx + 1) as u32;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            // `[dependencies.foo]` is a whole-section dependency entry.
+            if let Some(dep_name) = section.strip_prefix("dependencies.") {
+                let mut features = Vec::new();
+                while let Some(&(_, next)) = lines.peek() {
+                    let next = strip_comment(next).trim().to_string();
+                    if next.starts_with('[') {
+                        break;
+                    }
+                    if let Some((k, v)) = split_kv(&next) {
+                        if k == "features" {
+                            features = string_array(&v);
+                        }
+                    }
+                    lines.next();
+                }
+                m.dependencies.push(Dep {
+                    name: dep_name.to_string(),
+                    features,
+                    line: line_no,
+                });
+            }
+            continue;
+        }
+        let mut entry = line.clone();
+        // Join continuation lines until brackets balance (multi-line arrays).
+        while bracket_balance(&entry) > 0 {
+            match lines.next() {
+                Some((_, more)) => {
+                    entry.push(' ');
+                    entry.push_str(strip_comment(more).trim());
+                }
+                None => break,
+            }
+        }
+        let Some((key, value)) = split_kv(&entry) else {
+            continue;
+        };
+        match section.as_str() {
+            "package" if key == "name" => {
+                m.package_name = Some(unquote(&value));
+            }
+            "dependencies" => {
+                // `foo.workspace = true` and `foo = …` both name `foo`.
+                let name = key.split('.').next().unwrap_or(&key).to_string();
+                let features = if let Some(fpos) = value.find("features") {
+                    string_array(&value[fpos..])
+                } else {
+                    Vec::new()
+                };
+                m.dependencies.push(Dep {
+                    name,
+                    features,
+                    line: line_no,
+                });
+            }
+            "features" => {
+                m.features.push((key, string_array(&value)));
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+/// Removes a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_kv(line: &str) -> Option<(String, String)> {
+    let eq = line.find('=')?;
+    let key = line[..eq].trim().trim_matches('"').to_string();
+    let value = line[eq + 1..].trim().to_string();
+    if key.is_empty() {
+        None
+    } else {
+        Some((key, value))
+    }
+}
+
+fn unquote(v: &str) -> String {
+    v.trim().trim_matches('"').to_string()
+}
+
+/// All double-quoted strings inside the first `[…]` of `v` (or, if
+/// there is no bracket, inside `v` itself).
+fn string_array(v: &str) -> Vec<String> {
+    let slice = match (v.find('['), v.find(']')) {
+        (Some(a), Some(b)) if b > a => &v[a + 1..b],
+        _ => v,
+    };
+    let mut out = Vec::new();
+    let mut rest = slice;
+    while let Some(start) = rest.find('"') {
+        let Some(len) = rest[start + 1..].find('"') else {
+            break;
+        };
+        out.push(rest[start + 1..start + 1 + len].to_string());
+        rest = &rest[start + 2 + len..];
+    }
+    out
+}
+
+fn bracket_balance(line: &str) -> i32 {
+    let mut bal = 0;
+    let mut in_str = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => bal += 1,
+            ']' if !in_str => bal -= 1,
+            _ => {}
+        }
+    }
+    bal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_this_workspace_shape() {
+        let m = parse(
+            "[package]\nname = \"execmig-machine\" # the machine\n\n\
+             [features]\ntrace = [\"execmig-obs/trace\"]\n\n\
+             [dependencies]\nexecmig-trace.workspace = true\n\
+             execmig-obs = { workspace = true, features = [\"trace\"] }\n",
+        );
+        assert_eq!(m.package_name.as_deref(), Some("execmig-machine"));
+        assert_eq!(m.dependencies.len(), 2);
+        assert_eq!(m.dependencies[0].name, "execmig-trace");
+        assert!(m.dependencies[0].features.is_empty());
+        assert_eq!(m.dependencies[1].features, vec!["trace"]);
+        assert_eq!(m.features[0].0, "trace");
+        assert_eq!(m.features[0].1, vec!["execmig-obs/trace"]);
+    }
+
+    #[test]
+    fn dotted_dependency_section() {
+        let m = parse("[dependencies.execmig-obs]\nworkspace = true\nfeatures = [\"trace\"]\n");
+        assert_eq!(m.dependencies.len(), 1);
+        assert_eq!(m.dependencies[0].name, "execmig-obs");
+        assert_eq!(m.dependencies[0].features, vec!["trace"]);
+    }
+
+    #[test]
+    fn workspace_dependencies_ignored() {
+        let m = parse("[workspace.dependencies]\nexecmig-trace = { path = \"crates/trace\" }\n");
+        assert!(m.dependencies.is_empty());
+        assert!(m.package_name.is_none());
+    }
+
+    #[test]
+    fn multi_line_arrays_join() {
+        let m = parse("[features]\ntrace = [\n  \"execmig-machine/trace\",\n  \"execmig-experiments/trace\",\n]\n");
+        assert_eq!(m.features[0].1.len(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! E009: library panic hygiene.
+//!
+//! The four library crates under the experiment layer (`trace`,
+//! `cache`, `core`, `machine`) must not `.unwrap()` or `.expect()`
+//! outside tests: I/O boundaries return typed errors
+//! (`TraceIoError`), constructors validate with messages
+//! (`assert!`/explicit `panic!` carry intent and are E004's concern on
+//! hot files), and everything else is total. Test modules are exempt —
+//! an unwrap in a test *is* the assert.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{self, TokKind};
+use crate::workspace::Workspace;
+
+const SCOPE: &[&str] = &[
+    "execmig-trace",
+    "execmig-cache",
+    "execmig-core",
+    "execmig-machine",
+];
+
+/// Runs E009.
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for krate in &ws.crates {
+        if !SCOPE.contains(&krate.name.as_str()) {
+            continue;
+        }
+        for file in &krate.files {
+            let exempt = lexer::test_regions(&file.toks);
+            for (k, t) in file.toks.iter().enumerate() {
+                if t.kind == TokKind::Ident
+                    && (t.text == "unwrap" || t.text == "expect")
+                    && k > 0
+                    && lexer::is_punct(&file.toks[k - 1], '.')
+                    && matches!(file.toks.get(k + 1), Some(n) if lexer::is_punct(n, '('))
+                    && !lexer::in_regions(t.pos, &exempt)
+                {
+                    diags.push(Diagnostic::new(
+                        "E009",
+                        &file.rel,
+                        t.line,
+                        format!(
+                            "`.{}()` in library code; return a typed error or \
+                             validate with a message instead",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Loads a workspace into memory: manifests parsed, sources lexed.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Token};
+use crate::manifest::{self, Manifest};
+
+/// One lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the linted root, with `/` separators.
+    pub rel: String,
+    /// File name (`sat.rs`).
+    pub name: String,
+    /// Raw text.
+    pub text: String,
+    /// Token stream.
+    pub toks: Vec<Token>,
+}
+
+/// One crate: manifest plus every `src/**/*.rs` file.
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// Package name from the manifest.
+    pub name: String,
+    /// Manifest path relative to the root.
+    pub manifest_rel: String,
+    /// Parsed manifest.
+    pub manifest: Manifest,
+    /// Lexed sources.
+    pub files: Vec<SourceFile>,
+}
+
+/// The whole workspace.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute root.
+    pub root: PathBuf,
+    /// Member crates (including a root `[package]`, if any), sorted by
+    /// manifest path for deterministic diagnostics.
+    pub crates: Vec<CrateInfo>,
+}
+
+impl Workspace {
+    /// The crate named `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&CrateInfo> {
+        self.crates.iter().find(|c| c.name == name)
+    }
+}
+
+/// Loads the workspace rooted at `root`: the root manifest's package
+/// (if any) plus every `crates/*/Cargo.toml` package.
+pub fn load(root: &Path) -> Result<Workspace, String> {
+    let root = root
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve root {}: {e}", root.display()))?;
+    let mut crates = Vec::new();
+    let mut manifest_dirs = vec![root.clone()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?;
+        for entry in entries.flatten() {
+            if entry.path().join("Cargo.toml").is_file() {
+                manifest_dirs.push(entry.path());
+            }
+        }
+    }
+    for dir in manifest_dirs {
+        let manifest_path = dir.join("Cargo.toml");
+        if !manifest_path.is_file() {
+            continue;
+        }
+        let text = fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        let manifest = manifest::parse(&text);
+        let Some(name) = manifest.package_name.clone() else {
+            continue; // a pure [workspace] manifest
+        };
+        let mut files = Vec::new();
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_sources(&root, &src, &mut files)?;
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        crates.push(CrateInfo {
+            name,
+            manifest_rel: rel_to(&root, &manifest_path),
+            manifest,
+            files,
+        });
+    }
+    if crates.is_empty() {
+        return Err(format!("no crates found under {}", root.display()));
+    }
+    crates.sort_by(|a, b| a.manifest_rel.cmp(&b.manifest_rel));
+    Ok(Workspace { root, crates })
+}
+
+fn collect_sources(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_sources(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let toks = lexer::lex(&text);
+            out.push(SourceFile {
+                rel: rel_to(root, &path),
+                name: path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default(),
+                text,
+                toks,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn rel_to(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

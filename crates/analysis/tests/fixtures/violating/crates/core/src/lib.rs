@@ -1,0 +1,14 @@
+//! Clean fixture crate: must produce zero diagnostics.
+
+pub mod sat;
+
+/// Serialisable via a manual impl — satisfies E008.
+pub struct TunableConfig {
+    pub bits: u32,
+}
+
+impl ToJson for TunableConfig {
+    fn to_json(&self) -> Json {
+        Json::UInt(u64::from(self.bits))
+    }
+}

@@ -1,0 +1,28 @@
+//! Hot fixture file, clean outside tests: the test module and doc
+//! examples below must all be exempt.
+
+pub fn clamp(x: i64, lo: i64, hi: i64) -> i64 {
+    x.max(lo).min(hi)
+}
+
+/// Doc examples never count:
+///
+/// ```
+/// let v = vec![1.5f64];
+/// assert_eq!(v.first().unwrap(), &1.5);
+/// ```
+pub fn range(bits: u32) -> i64 {
+    (1_i64 << bits) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_and_unwraps_are_fine_in_tests() {
+        let f = 0.5_f64;
+        assert!(f < 1.0);
+        assert_eq!(Some(clamp(9, 0, 3)).unwrap(), 3);
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture machine crate: one unregistered stats counter.
+
+pub mod machine;
+pub mod stats;

@@ -1,0 +1,15 @@
+use execmig_obs::Tracer;
+
+use crate::stats::MachineStats;
+
+pub fn metrics(s: &MachineStats) -> Vec<(&'static str, u64)> {
+    vec![("instructions", s.instructions)]
+}
+
+pub fn gated_drain(t: &Tracer) -> usize {
+    if Tracer::ACTIVE {
+        t.events().len() // gated: must NOT be flagged
+    } else {
+        0
+    }
+}

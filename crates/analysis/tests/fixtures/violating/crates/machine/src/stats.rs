@@ -1,0 +1,5 @@
+/// Counters; `lost_counter` is never registered by name (E007).
+pub struct MachineStats {
+    pub instructions: u64,
+    pub lost_counter: u64,
+}

@@ -12,6 +12,7 @@
 //! allocation decisions live in the machine model, which is where the
 //! paper defines them (§2.1).
 
+use execmig_obs::{impl_to_json, Json, ToJson};
 use execmig_trace::LineAddr;
 
 /// How a line maps to sets.
@@ -89,6 +90,25 @@ impl CacheConfig {
         );
     }
 }
+
+impl ToJson for Indexing {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Indexing::Modulo => "modulo",
+                Indexing::Skewed => "skewed",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl_to_json!(CacheConfig {
+    capacity_bytes,
+    ways,
+    line_bytes,
+    indexing,
+});
 
 /// A line evicted by a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

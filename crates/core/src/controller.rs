@@ -157,6 +157,10 @@ pub struct ControllerStats {
     pub migrations: u64,
 }
 
+// One controller exists per machine, so the size spread between the
+// 2-way and 8-way splitters is irrelevant; boxing the large variants
+// would add a pointer chase to every per-request dispatch.
+#[allow(clippy::large_enum_variant)]
 enum Inner {
     Two(Splitter2<AnyAffinityTable>),
     Four(Splitter4<AnyAffinityTable>),
@@ -293,6 +297,17 @@ impl MigrationController {
                 .observe(self.stats.requests - self.last_change_request);
             self.last_change_request = self.stats.requests;
         }
+        debug_assert!(
+            core < self.cores(),
+            "I107: designated core {core} out of range for {}-way splitting",
+            self.cores()
+        );
+        debug_assert!(
+            self.dwell.count() == self.stats.migrations,
+            "I107: dwell samples ({}) must match migrations ({})",
+            self.dwell.count(),
+            self.stats.migrations
+        );
         core
     }
 

@@ -12,6 +12,7 @@
 //! residual transition frequency on a saturated random working set is
 //! about `1/2^(1+k−16)`.
 
+use crate::invariants;
 use crate::sat;
 use crate::Side;
 
@@ -57,6 +58,7 @@ impl TransitionFilter {
     /// Adds an affinity `A_e` (saturating).
     pub fn update(&mut self, a_e: i64) {
         self.value = sat::add(self.value, a_e, self.bits);
+        invariants::check_filter_range(self.value, self.bits); // I103
     }
 
     /// The subset the filter currently designates.

@@ -69,6 +69,8 @@
 
 pub mod controller;
 pub mod filter;
+pub mod introspect;
+pub mod invariants;
 pub mod mechanism;
 pub mod reference;
 pub mod sampler;

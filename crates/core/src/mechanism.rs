@@ -17,6 +17,7 @@
 //!
 //! All quantities use saturating arithmetic at the widths of §3.2.
 
+use crate::invariants;
 use crate::sat;
 use crate::table::AffinityTable;
 use crate::window::RWindow;
@@ -120,6 +121,9 @@ pub struct Mechanism {
     delta: i64,
     ar_bits: u32,
     delta_bits: u32,
+    /// I102 double-entry bookkeeping (debug builds, Wide mode only).
+    #[cfg(debug_assertions)]
+    shadow: invariants::ArShadow,
 }
 
 impl Mechanism {
@@ -138,6 +142,8 @@ impl Mechanism {
             ar_bits: sat::ar_bits(config.affinity_bits, config.r_window),
             delta_bits: sat::delta_bits(config.affinity_bits),
             config,
+            #[cfg(debug_assertions)]
+            shadow: invariants::ArShadow::default(),
         }
     }
 
@@ -167,14 +173,23 @@ impl Mechanism {
                 // saturates at `bits` when recovered on entry/exit.
                 let o_e = table.read_or_insert(e, self.delta);
                 let a_e = sat::clamp(o_e - self.delta, bits);
+                invariants::check_affinity_bounds(a_e, bits); // I101
                 let i_e = a_e - self.delta; // re-anchor through clamped A_e
                 let a_f = match self.window.push(e, i_e) {
                     Some((f, i_f)) => {
                         let a_f = sat::clamp(i_f + self.delta, bits);
+                        invariants::check_affinity_bounds(a_f, bits); // I101
                         table.write(f, a_f + self.delta);
+                        #[cfg(debug_assertions)]
+                        self.shadow.on_evict(self.delta, i_f, a_f);
                         a_f
                     }
-                    None => 0, // warm-up: nothing leaves
+                    None => {
+                        // Warm-up: nothing leaves.
+                        #[cfg(debug_assertions)]
+                        self.shadow.on_warmup(self.delta);
+                        0
+                    }
                 };
                 // `a_e − a_f` equals the Saturating17 path's
                 // `o_e − o_f`: the register tracks entry/exit swaps and
@@ -193,11 +208,14 @@ impl Mechanism {
                     SignMode::RegisterOnly => self.ar,
                 };
                 self.delta += Side::of(sign_arg).sign();
+                #[cfg(debug_assertions)]
+                self.shadow.check(self.ar, &self.window); // I102
                 a_e
             }
             DeltaMode::Saturating17 => {
                 let o_e = table.read_or_insert(e, sat::clamp(self.delta, bits));
                 let a_e = sat::clamp(o_e - self.delta, bits);
+                invariants::check_affinity_bounds(a_e, bits); // I101
                 let i_e = sat::clamp(o_e - 2 * self.delta, bits);
                 match self.window.push(e, i_e) {
                     Some((f, i_f)) => {
@@ -216,6 +234,7 @@ impl Mechanism {
                     SignMode::RegisterOnly => self.ar,
                 };
                 self.delta = sat::add(self.delta, Side::of(sign_arg).sign(), self.delta_bits);
+                invariants::check_delta_width(self.delta, self.delta_bits); // I104
                 a_e
             }
         }

@@ -44,17 +44,6 @@ pub struct SplitterStats {
     pub transitions: u64,
 }
 
-impl SplitterStats {
-    /// Transitions per reference; 0 when nothing was processed.
-    pub fn transition_rate(&self) -> f64 {
-        if self.references == 0 {
-            0.0
-        } else {
-            self.transitions as f64 / self.references as f64
-        }
-    }
-}
-
 /// A complete 2-way splitter over its own (unbounded by default)
 /// affinity table.
 ///
@@ -144,26 +133,6 @@ impl<T: AffinityTable> Splitter2<T> {
     /// The affinity of `e`, if tracked (Figure 3 introspection).
     pub fn affinity_of(&self, e: u64) -> Option<i64> {
         self.mechanism.affinity_of(e, &self.table)
-    }
-
-    /// Fraction of the elements in `range` whose affinity is
-    /// non-negative; untracked elements are skipped.
-    pub fn positive_fraction(&self, range: std::ops::Range<u64>) -> f64 {
-        let mut tracked = 0u64;
-        let mut positive = 0u64;
-        for e in range {
-            if let Some(a) = self.affinity_of(e) {
-                tracked += 1;
-                if Side::of(a) == Side::Plus {
-                    positive += 1;
-                }
-            }
-        }
-        if tracked == 0 {
-            0.0
-        } else {
-            positive as f64 / tracked as f64
-        }
     }
 
     /// Borrow of the underlying affinity table.

@@ -23,18 +23,6 @@ pub struct TableStats {
     pub misses: u64,
 }
 
-impl TableStats {
-    /// Fraction of reads that missed; 0 when nothing was read.
-    pub fn miss_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.misses as f64 / total as f64
-        }
-    }
-}
-
 /// Storage of `O_e` values, keyed by line address.
 pub trait AffinityTable {
     /// Reads `O_e` for `line`; on a miss, installs `reset` (the caller

@@ -23,6 +23,14 @@ pub struct UpdateBusConfig {
     pub branch_permille: u64,
 }
 
+execmig_obs::impl_to_json!(UpdateBusConfig {
+    bytes_per_reg_write,
+    bytes_per_store,
+    bytes_per_branch,
+    reg_write_permille,
+    branch_permille,
+});
+
 impl Default for UpdateBusConfig {
     fn default() -> Self {
         UpdateBusConfig {

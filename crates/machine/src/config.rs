@@ -2,6 +2,8 @@
 
 use execmig_cache::{CacheConfig, Indexing};
 use execmig_core::ControllerConfig;
+use execmig_obs::impl_to_json;
+use execmig_trace::LineSize;
 
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,22 +100,21 @@ impl MachineConfig {
         }
     }
 
-    /// Checks internal consistency.
+    /// Checks internal consistency and returns the validated line size.
     ///
     /// # Panics
     ///
     /// Panics if the core count is unsupported, if a controller is
     /// configured whose split degree does not match the core count, or
     /// if the line size is not a power of two.
-    pub fn validate(&self) {
+    pub fn validate(&self) -> LineSize {
         assert!(
             matches!(self.cores, 1 | 2 | 4 | 8),
             "supported core counts: 1, 2, 4, 8"
         );
-        assert!(
-            self.line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
+        let Some(line) = LineSize::new(self.line_bytes) else {
+            panic!("line size must be a power of two, got {}", self.line_bytes)
+        };
         if let Some(c) = &self.controller {
             assert_eq!(
                 c.ways.count(),
@@ -127,8 +128,28 @@ impl MachineConfig {
                 "prefetch degree must be in [1, 16]"
             );
         }
+        line
     }
 }
+
+impl_to_json!(CacheGeometry {
+    capacity_bytes,
+    ways,
+    indexing,
+});
+
+impl_to_json!(PrefetchConfig { degree });
+
+impl_to_json!(MachineConfig {
+    cores,
+    line_bytes,
+    il1,
+    dl1,
+    l2,
+    controller,
+    prefetch,
+    l3,
+});
 
 impl Default for MachineConfig {
     fn default() -> Self {

@@ -1,0 +1,168 @@
+//! Runtime invariant checkers for the machine-level coherence model.
+//!
+//! These are the machine half of the numbered invariant catalog (see
+//! `DESIGN.md`, "Invariant catalog & static analysis"); the affinity
+//! half (I101–I104) lives in `execmig_core::invariants`. Each check is
+//! a `debug_assert!` — active in the tier-1 debug test build and in the
+//! CI debug leg, compiled out of release binaries.
+//!
+//! - **I105** — at most one L2 holds a *modified* copy of any line
+//!   (§2.3: "a cache line may be in the modified state in at most one
+//!   L2 cache").
+//! - **I106** — the write-through L1s never hold a modified line
+//!   (§2.3: DL1 is write-through, so no dirty state can accumulate
+//!   above the L2s; the mirrored-L1 model depends on this).
+//! - **I107** — occupancy and migration bookkeeping are consistent:
+//!   per-core instruction counters sum to the machine total, and the
+//!   machine's migration count agrees with the controller's.
+
+use std::collections::BTreeMap;
+
+use execmig_cache::Cache;
+
+/// How many accesses between full cache scans for I105/I106. The O(1)
+/// bookkeeping checks of I107 run on every access in debug builds; the
+/// scans walk every L2 frame and are sampled to keep debug runs usable.
+pub const SCAN_PERIOD: u64 = 65_536;
+
+/// I105: at most one modified copy of each line across the per-core
+/// L2s. A violated check names the line and both offending cores.
+pub fn check_single_modified_owner(l2s: &[Cache]) {
+    if cfg!(debug_assertions) {
+        let mut owner = BTreeMap::new();
+        for (core, l2) in l2s.iter().enumerate() {
+            for (line, modified) in l2.resident_lines() {
+                if !modified {
+                    continue;
+                }
+                if let Some(prev) = owner.insert(line, core) {
+                    debug_assert!(
+                        false,
+                        "I105: line {line:?} modified in L2 {prev} and L2 {core} \
+                         (§2.3: at most one modified owner per line)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// I106: the shared write-through IL1/DL1 pair never marks a line
+/// modified — dirty state lives only in the L2s.
+pub fn check_l1_write_through(il1: &Cache, dl1: &Cache) {
+    if cfg!(debug_assertions) {
+        for (name, l1) in [("IL1", il1), ("DL1", dl1)] {
+            for (line, modified) in l1.resident_lines() {
+                debug_assert!(
+                    !modified,
+                    "I106: {name} holds modified line {line:?} \
+                     (§2.3: L1s are write-through, mirrored across cores)"
+                );
+            }
+        }
+    }
+}
+
+/// I107 (occupancy half): the per-core instruction counters must sum
+/// to the machine's total retired-instruction count.
+pub fn check_occupancy(core_instructions: &[u64], instructions: u64) {
+    let total: u64 = core_instructions.iter().sum();
+    debug_assert!(
+        total == instructions,
+        "I107: per-core instruction counters sum to {total}, \
+         machine retired {instructions}"
+    );
+}
+
+/// I107 (migration half): the machine's migration count must agree
+/// with the controller's, and the active core must be a valid
+/// destination for the configured split degree.
+pub fn check_migration_accounting(
+    machine_migrations: u64,
+    controller_migrations: u64,
+    active: usize,
+    cores: usize,
+) {
+    debug_assert!(
+        machine_migrations == controller_migrations,
+        "I107: machine counted {machine_migrations} migrations, \
+         controller counted {controller_migrations}"
+    );
+    debug_assert!(
+        active < cores,
+        "I107: active core {active} out of range for {cores} cores"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use execmig_cache::{CacheConfig, Indexing};
+    use execmig_trace::LineAddr;
+
+    fn small_cache() -> Cache {
+        Cache::new(CacheConfig {
+            capacity_bytes: 1 << 10,
+            ways: 2,
+            line_bytes: 64,
+            indexing: Indexing::Modulo,
+        })
+    }
+
+    #[test]
+    fn accepts_disjoint_modified_lines() {
+        let mut a = small_cache();
+        let mut b = small_cache();
+        a.fill(LineAddr::new(1), true);
+        b.fill(LineAddr::new(2), true);
+        b.fill(LineAddr::new(1), false);
+        check_single_modified_owner(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "I105")]
+    #[cfg(debug_assertions)]
+    fn rejects_two_modified_owners() {
+        let mut a = small_cache();
+        let mut b = small_cache();
+        a.fill(LineAddr::new(7), true);
+        b.fill(LineAddr::new(7), true);
+        check_single_modified_owner(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "I106")]
+    #[cfg(debug_assertions)]
+    fn rejects_modified_l1_line() {
+        let il1 = small_cache();
+        let mut dl1 = small_cache();
+        dl1.fill(LineAddr::new(3), true);
+        check_l1_write_through(&il1, &dl1);
+    }
+
+    #[test]
+    #[should_panic(expected = "I107")]
+    #[cfg(debug_assertions)]
+    fn rejects_occupancy_mismatch() {
+        check_occupancy(&[10, 20], 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "I107")]
+    #[cfg(debug_assertions)]
+    fn rejects_migration_count_mismatch() {
+        check_migration_accounting(3, 4, 0, 4);
+    }
+
+    #[test]
+    fn paper_machine_stays_consistent() {
+        use crate::{Machine, MachineConfig};
+        use execmig_trace::suite;
+
+        let mut m = Machine::new(MachineConfig::four_core_migration());
+        let mut w = suite::by_name("art").unwrap();
+        m.run(&mut *w, 200_000);
+        m.check_invariants();
+        assert!(m.stats().migrations > 0 || m.stats().l2_misses > 0);
+    }
+}

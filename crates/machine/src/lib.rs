@@ -39,6 +39,7 @@
 pub mod branch;
 pub mod bus;
 pub mod config;
+pub mod invariants;
 pub mod machine;
 pub mod perf;
 pub mod pipeline;

@@ -7,6 +7,7 @@ use execmig_trace::{AccessKind, LineAddr, LineSize, Workload};
 
 use crate::bus::UpdateBus;
 use crate::config::MachineConfig;
+use crate::invariants;
 use crate::stats::MachineStats;
 
 /// Upper bound on the core count (see [`MachineConfig::validate`]),
@@ -53,8 +54,7 @@ impl Machine {
     /// Panics if the configuration is inconsistent (see
     /// [`MachineConfig::validate`]).
     pub fn new(config: MachineConfig) -> Self {
-        config.validate();
-        let line = LineSize::new(config.line_bytes).expect("validated power of two");
+        let line = config.validate();
         let il1 = Cache::new(config.il1.to_cache_config(config.line_bytes));
         let dl1 = Cache::new(config.dl1.to_cache_config(config.line_bytes));
         let l2 = (0..config.cores)
@@ -252,6 +252,36 @@ impl Machine {
             }
         }
         self.stats.bus = self.bus.stats();
+
+        #[cfg(debug_assertions)]
+        {
+            invariants::check_occupancy(
+                &self.core_instructions[..self.config.cores],
+                self.stats.instructions,
+            );
+            if self.stats.accesses.is_multiple_of(invariants::SCAN_PERIOD) {
+                self.check_invariants();
+            }
+        }
+    }
+
+    /// Runs the machine-level invariant checks (I105–I107, see the
+    /// [`invariants`] module). Debug builds call this automatically
+    /// every [`invariants::SCAN_PERIOD`] accesses; in release builds
+    /// the checks compile to nothing.
+    pub fn check_invariants(&self) {
+        invariants::check_single_modified_owner(&self.l2);
+        invariants::check_l1_write_through(&self.il1, &self.dl1);
+        invariants::check_occupancy(
+            &self.core_instructions[..self.config.cores],
+            self.stats.instructions,
+        );
+        invariants::check_migration_accounting(
+            self.stats.migrations,
+            self.controller.as_ref().map_or(0, |c| c.stats().migrations),
+            self.active,
+            self.config.cores,
+        );
     }
 
     /// Read path for an L1 miss: consult the active L2, the remote L2s

@@ -39,6 +39,14 @@ pub struct PipelineConfig {
     pub mispredict_permille: u64,
 }
 
+execmig_obs::impl_to_json!(PipelineConfig {
+    inflight,
+    retire_width,
+    issue_to_retire_stages,
+    broadcast_cycles,
+    mispredict_permille,
+});
+
 impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {

@@ -29,6 +29,13 @@ pub struct RegCacheConfig {
     pub hot_regs: u32,
 }
 
+execmig_obs::impl_to_json!(RegCacheConfig {
+    entries,
+    logical_regs,
+    hot_permille,
+    hot_regs,
+});
+
 impl Default for RegCacheConfig {
     fn default() -> Self {
         RegCacheConfig {

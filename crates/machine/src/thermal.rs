@@ -23,6 +23,11 @@ pub struct ThermalConfig {
     pub cooling_per_kinstr: f64,
 }
 
+execmig_obs::impl_to_json!(ThermalConfig {
+    heat_per_kinstr,
+    cooling_per_kinstr,
+});
+
 impl Default for ThermalConfig {
     fn default() -> Self {
         ThermalConfig {

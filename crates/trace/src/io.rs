@@ -18,6 +18,15 @@
 //!   access, as a delta from the previous record.
 //!
 //! Sequential streams compress to ~3 bytes per access.
+//!
+//! # Errors
+//!
+//! All fallible operations return [`TraceIoError`], which distinguishes
+//! transport failures ([`TraceIoError::Io`]) from format violations
+//! (bad magic, truncated varints, invalid kinds, non-monotonic
+//! instruction counts). Replay through the infallible
+//! [`Workload::next_access`] interface is available for bounded runs;
+//! [`TraceReader::try_next_access`] is the non-panicking equivalent.
 
 use crate::access::{Access, AccessKind};
 use crate::addr::Addr;
@@ -26,28 +35,83 @@ use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"EMT1";
 
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+/// Errors produced while recording or replaying a trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// The underlying reader/writer failed.
+    Io(io::Error),
+    /// The stream does not begin with the `EMT1` magic header.
+    BadMagic([u8; 4]),
+    /// A length-prefixed integer ran past 64 bits.
+    VarintOverflow,
+    /// A record tag carried an invalid access kind.
+    BadKind(u8),
+    /// A record's cumulative instruction count went backwards.
+    NonMonotonic {
+        /// The previous record's cumulative instruction count.
+        prev: u64,
+        /// The offending (smaller) count.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::BadMagic(m) => {
+                write!(f, "not an EMT1 trace (magic {m:02x?})")
+            }
+            TraceIoError::VarintOverflow => f.write_str("varint too long"),
+            TraceIoError::BadKind(tag) => {
+                write!(f, "bad access kind in tag byte {tag:#04x}")
+            }
+            TraceIoError::NonMonotonic { prev, got } => write!(
+                f,
+                "instruction counts must be non-decreasing ({got} after {prev})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Result alias for trace I/O.
+pub type TraceIoResult<T> = Result<T, TraceIoError>;
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> TraceIoResult<()> {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            return w.write_all(&[byte]);
+            w.write_all(&[byte])?;
+            return Ok(());
         }
         w.write_all(&[byte | 0x80])?;
     }
 }
 
-fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+fn read_varint<R: Read>(r: &mut R) -> TraceIoResult<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
         let mut byte = [0u8; 1];
         r.read_exact(&mut byte)?;
         if shift >= 64 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "varint too long",
-            ));
+            return Err(TraceIoError::VarintOverflow);
         }
         v |= ((byte[0] & 0x7f) as u64) << shift;
         if byte[0] & 0x80 == 0 {
@@ -82,7 +146,7 @@ impl<W: Write> TraceWriter<W> {
     /// # Errors
     ///
     /// Propagates I/O errors from the sink.
-    pub fn new(mut sink: W) -> io::Result<Self> {
+    pub fn new(mut sink: W) -> TraceIoResult<Self> {
         sink.write_all(MAGIC)?;
         Ok(TraceWriter {
             sink,
@@ -98,13 +162,13 @@ impl<W: Write> TraceWriter<W> {
     /// # Errors
     ///
     /// Propagates I/O errors; rejects a non-monotonic instruction
-    /// count.
-    pub fn record(&mut self, access: Access, instructions: u64) -> io::Result<()> {
+    /// count with [`TraceIoError::NonMonotonic`].
+    pub fn record(&mut self, access: Access, instructions: u64) -> TraceIoResult<()> {
         if instructions < self.last_instr {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "instruction counts must be non-decreasing",
-            ));
+            return Err(TraceIoError::NonMonotonic {
+                prev: self.last_instr,
+                got: instructions,
+            });
         }
         let kind_bits = match access.kind {
             AccessKind::IFetch => 0u8,
@@ -145,7 +209,7 @@ impl<W: Write> TraceWriter<W> {
         &mut self,
         workload: &mut Wk,
         instructions: u64,
-    ) -> io::Result<()> {
+    ) -> TraceIoResult<()> {
         while workload.instructions() < instructions {
             let access = workload.next_access();
             self.record(access, workload.instructions())?;
@@ -163,7 +227,7 @@ impl<W: Write> TraceWriter<W> {
     /// # Errors
     ///
     /// Propagates the flush error.
-    pub fn finish(mut self) -> io::Result<W> {
+    pub fn finish(mut self) -> TraceIoResult<W> {
         self.sink.flush()?;
         Ok(self.sink)
     }
@@ -171,9 +235,11 @@ impl<W: Write> TraceWriter<W> {
 
 /// Replays a recorded trace as a [`Workload`].
 ///
-/// The trace is finite; [`next_access`](Workload::next_access) panics
-/// past the end — check [`is_finished`](TraceReader::is_finished) or
-/// bound the run by the recorded instruction total.
+/// The trace is finite. [`try_next_access`](TraceReader::try_next_access)
+/// is the complete, non-panicking interface; the [`Workload`] adapter
+/// panics past the end or on a corrupt record — check
+/// [`is_finished`](TraceReader::is_finished) or bound the run by the
+/// recorded instruction total.
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     source: R,
@@ -190,15 +256,13 @@ impl<R: Read> TraceReader<R> {
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors or a bad magic number.
-    pub fn new(mut source: R) -> io::Result<Self> {
+    /// Fails on I/O errors or with [`TraceIoError::BadMagic`] when the
+    /// stream is not an `EMT1` trace.
+    pub fn new(mut source: R) -> TraceIoResult<Self> {
         let mut magic = [0u8; 4];
         source.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not an EMT1 trace",
-            ));
+            return Err(TraceIoError::BadMagic(magic));
         }
         let mut reader = TraceReader {
             source,
@@ -212,7 +276,7 @@ impl<R: Read> TraceReader<R> {
         Ok(reader)
     }
 
-    fn fetch(&mut self) -> io::Result<()> {
+    fn fetch(&mut self) -> TraceIoResult<()> {
         let mut tag = [0u8; 1];
         match self.source.read_exact(&mut tag) {
             Ok(()) => {}
@@ -221,18 +285,13 @@ impl<R: Read> TraceReader<R> {
                 self.pending = None;
                 return Ok(());
             }
-            Err(e) => return Err(e),
+            Err(e) => return Err(e.into()),
         }
         let kind = match tag[0] & 0b11 {
             0 => AccessKind::IFetch,
             1 => AccessKind::Load,
             2 => AccessKind::Store,
-            _ => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "bad access kind",
-                ))
-            }
+            _ => return Err(TraceIoError::BadKind(tag[0])),
         };
         let pointer = tag[0] & (1 << 2) != 0;
         let raw = read_varint(&mut self.source)?;
@@ -250,6 +309,23 @@ impl<R: Read> TraceReader<R> {
             pointer,
         });
         Ok(())
+    }
+
+    /// Returns the next access, `Ok(None)` once the trace is exhausted.
+    ///
+    /// This is the non-panicking replay interface; the [`Workload`]
+    /// adapter is a thin wrapper around it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a corrupt record.
+    pub fn try_next_access(&mut self) -> TraceIoResult<Option<Access>> {
+        let Some(access) = self.pending else {
+            return Ok(None);
+        };
+        self.instructions = self.pending_instr;
+        self.fetch()?;
+        Ok(Some(access))
     }
 
     /// True once the trace is exhausted.
@@ -271,12 +347,14 @@ impl<R: Read> Workload for TraceReader<R> {
     /// # Panics
     ///
     /// Panics when called past the end of the trace or on a corrupt
-    /// record; bound the replay by the recorded totals.
+    /// record; bound the replay by the recorded totals or use
+    /// [`TraceReader::try_next_access`].
     fn next_access(&mut self) -> Access {
-        let access = self.pending.expect("trace exhausted");
-        self.instructions = self.pending_instr;
-        self.fetch().expect("corrupt trace");
-        access
+        match self.try_next_access() {
+            Ok(Some(access)) => access,
+            Ok(None) => panic!("trace exhausted"),
+            Err(e) => panic!("corrupt trace: {e}"),
+        }
     }
 
     fn instructions(&self) -> u64 {
@@ -290,12 +368,13 @@ mod tests {
     use crate::suite;
 
     #[test]
-    fn varint_roundtrip() {
+    fn varint_roundtrip() -> TraceIoResult<()> {
         for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
             let mut buf = Vec::new();
-            write_varint(&mut buf, v).unwrap();
-            assert_eq!(read_varint(&mut &buf[..]).unwrap(), v);
+            write_varint(&mut buf, v)?;
+            assert_eq!(read_varint(&mut &buf[..])?, v);
         }
+        Ok(())
     }
 
     #[test]
@@ -306,48 +385,48 @@ mod tests {
     }
 
     #[test]
-    fn record_replay_roundtrip() {
-        let mut original = suite::by_name("mcf").unwrap();
-        let mut writer = TraceWriter::new(Vec::new()).unwrap();
-        writer.record_workload(&mut *original, 200_000).unwrap();
-        let buf = writer.finish().unwrap();
+    fn record_replay_roundtrip() -> TraceIoResult<()> {
+        let mut original = suite::by_name("mcf").expect("mcf is in the suite");
+        let mut writer = TraceWriter::new(Vec::new())?;
+        writer.record_workload(&mut *original, 200_000)?;
+        let buf = writer.finish()?;
 
         // Replay and compare against a fresh instance of the generator.
-        let mut reference = suite::by_name("mcf").unwrap();
-        let mut reader = TraceReader::new(&buf[..]).unwrap();
+        let mut reference = suite::by_name("mcf").expect("mcf is in the suite");
+        let mut reader = TraceReader::new(&buf[..])?;
         while reference.instructions() < 200_000 {
             let want = reference.next_access();
-            let got = reader.next_access();
+            let got = reader.try_next_access()?.expect("trace ended early");
             assert_eq!(got, want);
             assert_eq!(reader.instructions(), reference.instructions());
         }
         assert!(reader.is_finished());
+        Ok(())
     }
 
     #[test]
-    fn compact_encoding_for_sequential_streams() {
+    fn compact_encoding_for_sequential_streams() -> TraceIoResult<()> {
         use crate::gen::CircularWorkload;
         let mut w = CircularWorkload::new(1000);
-        let mut writer = TraceWriter::new(Vec::new()).unwrap();
-        writer.record_workload(&mut w, 100_000).unwrap();
+        let mut writer = TraceWriter::new(Vec::new())?;
+        writer.record_workload(&mut w, 100_000)?;
         let records = writer.records();
-        let buf = writer.finish().unwrap();
+        let buf = writer.finish()?;
         let per_record = buf.len() as f64 / records as f64;
         assert!(
             per_record < 4.0,
             "sequential trace costs {per_record:.1} B/record"
         );
+        Ok(())
     }
 
     #[test]
-    fn pointer_flag_survives() {
-        let mut writer = TraceWriter::new(Vec::new()).unwrap();
-        writer
-            .record(Access::pointer_load(Addr::new(0x1234)), 3)
-            .unwrap();
-        writer.record(Access::store(Addr::new(0x1238)), 7).unwrap();
-        let buf = writer.finish().unwrap();
-        let mut reader = TraceReader::new(&buf[..]).unwrap();
+    fn pointer_flag_survives() -> TraceIoResult<()> {
+        let mut writer = TraceWriter::new(Vec::new())?;
+        writer.record(Access::pointer_load(Addr::new(0x1234)), 3)?;
+        writer.record(Access::store(Addr::new(0x1238)), 7)?;
+        let buf = writer.finish()?;
+        let mut reader = TraceReader::new(&buf[..])?;
         let a = reader.next_access();
         assert!(a.pointer);
         assert_eq!(reader.instructions(), 3);
@@ -355,28 +434,77 @@ mod tests {
         assert_eq!(b.kind, AccessKind::Store);
         assert_eq!(reader.instructions(), 7);
         assert!(reader.is_finished());
+        Ok(())
     }
 
     #[test]
     fn rejects_bad_magic() {
-        let err = TraceReader::new(&b"NOPE"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        match TraceReader::new(&b"NOPE"[..]) {
+            Err(TraceIoError::BadMagic(m)) => assert_eq!(&m, b"NOPE"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
     }
 
     #[test]
-    fn rejects_decreasing_instructions() {
-        let mut writer = TraceWriter::new(Vec::new()).unwrap();
-        writer.record(Access::load(Addr::new(1)), 10).unwrap();
-        let err = writer.record(Access::load(Addr::new(2)), 5).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    fn rejects_decreasing_instructions() -> TraceIoResult<()> {
+        let mut writer = TraceWriter::new(Vec::new())?;
+        writer.record(Access::load(Addr::new(1)), 10)?;
+        match writer.record(Access::load(Addr::new(2)), 5) {
+            Err(TraceIoError::NonMonotonic { prev: 10, got: 5 }) => Ok(()),
+            other => panic!("expected NonMonotonic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_varint() -> TraceIoResult<()> {
+        // Header + tag + a varint whose continuation never ends.
+        let mut buf = Vec::from(*MAGIC);
+        buf.push(1); // load, absolute address
+        buf.extend([0x80u8; 11]); // 11 continuation bytes: > 64 bits
+        match TraceReader::new(&buf[..]) {
+            Err(TraceIoError::VarintOverflow) => Ok(()),
+            other => panic!("expected VarintOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_kind() -> TraceIoResult<()> {
+        let mut buf = Vec::from(*MAGIC);
+        buf.push(3); // kind bits 0b11: invalid
+        buf.push(0); // address varint
+        buf.push(0); // instruction-delta varint
+        match TraceReader::new(&buf[..]) {
+            Err(TraceIoError::BadKind(3)) => Ok(()),
+            other => panic!("expected BadKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_next_access_reports_exhaustion() -> TraceIoResult<()> {
+        let writer = TraceWriter::new(Vec::new())?;
+        let buf = writer.finish()?;
+        let mut reader = TraceReader::new(&buf[..])?;
+        assert!(reader.try_next_access()?.is_none());
+        assert!(reader.try_next_access()?.is_none(), "exhaustion is sticky");
+        Ok(())
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = TraceIoError::from(io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = TraceIoError::NonMonotonic { prev: 9, got: 2 };
+        assert!(e.to_string().contains("non-decreasing"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]
     #[should_panic(expected = "trace exhausted")]
     fn panics_past_end() {
-        let writer = TraceWriter::new(Vec::new()).unwrap();
-        let buf = writer.finish().unwrap();
-        let mut reader = TraceReader::new(&buf[..]).unwrap();
+        let writer = TraceWriter::new(Vec::new()).expect("vec sink");
+        let buf = writer.finish().expect("flush to vec");
+        let mut reader = TraceReader::new(&buf[..]).expect("empty trace");
         let _ = reader.next_access();
     }
 }

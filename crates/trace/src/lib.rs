@@ -42,7 +42,7 @@ pub mod workload;
 
 pub use access::{Access, AccessKind};
 pub use addr::{Addr, LineAddr, LineSize};
-pub use io::{TraceReader, TraceWriter};
+pub use io::{TraceIoError, TraceIoResult, TraceReader, TraceWriter};
 pub use rng::Rng;
 pub use suite::{BenchmarkInfo, BenchmarkSuiteClass};
 pub use workload::{BoxedWorkload, Workload};

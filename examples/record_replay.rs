@@ -9,7 +9,7 @@ use execution_migration::trace::{suite, TraceReader, TraceWriter, Workload};
 use std::fs::File;
 use std::io::BufReader;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("execmig_demo.emt");
     let instructions = 5_000_000u64;
 
