@@ -1,75 +1,14 @@
 //! Cache-substrate throughput: these dominate the simulator's run time
 //! (every access touches an L1; every L1 miss touches L2s and stacks).
+//! Kernel bodies live in `execmig_bench::kernels`.
 
 use execmig_bench::harness::Runner;
-use execmig_bench::LineStream;
-use execmig_cache::{Cache, CacheConfig, FullyAssocLru, LruStack};
-use execmig_trace::LineAddr;
-use std::hint::black_box;
-
-fn bench_set_assoc(c: &mut Runner) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(1);
-
-    for (label, config) in [
-        (
-            "modulo_512k_4w",
-            CacheConfig::set_associative(512 << 10, 4, 64),
-        ),
-        ("skewed_512k_4w", CacheConfig::skewed(512 << 10, 4, 64)),
-    ] {
-        g.bench_function(format!("lookup_fill/{label}"), |b| {
-            let mut cache = Cache::new(config);
-            let mut lines = LineStream::new(7, 14);
-            // Warm to steady state (evictions happening).
-            for _ in 0..50_000 {
-                let l = LineAddr::new(lines.next_line());
-                if !cache.lookup(l) {
-                    cache.fill(l, false);
-                }
-            }
-            b.iter(|| {
-                let l = LineAddr::new(lines.next_line());
-                if !cache.lookup(l) {
-                    black_box(cache.fill(l, false));
-                }
-            });
-        });
-    }
-    g.finish();
-}
-
-fn bench_fully_assoc(c: &mut Runner) {
-    let mut g = c.benchmark_group("fully_assoc_lru");
-    g.throughput(1);
-    g.bench_function("access/256_lines", |b| {
-        let mut cache = FullyAssocLru::new(256);
-        let mut lines = LineStream::new(9, 10);
-        b.iter(|| black_box(cache.access(lines.next_line())));
-    });
-    g.finish();
-}
-
-fn bench_stack(c: &mut Runner) {
-    let mut g = c.benchmark_group("lru_stack");
-    g.throughput(1);
-    for bits in [10u32, 16, 18] {
-        g.bench_function(format!("access/{}_distinct_lines", 1u64 << bits), |b| {
-            let mut stack = LruStack::new();
-            let mut lines = LineStream::new(11, bits);
-            for _ in 0..(1u64 << bits) * 2 {
-                stack.access(lines.next_line());
-            }
-            b.iter(|| black_box(stack.access(lines.next_line())));
-        });
-    }
-    g.finish();
-}
+use execmig_bench::kernels;
 
 fn main() {
     let mut c = Runner::from_env();
-    bench_set_assoc(&mut c);
-    bench_fully_assoc(&mut c);
-    bench_stack(&mut c);
+    kernels::bench_set_assoc(&mut c);
+    kernels::bench_fully_assoc(&mut c);
+    kernels::bench_stack(&mut c);
     c.finish();
 }

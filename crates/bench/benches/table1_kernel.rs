@@ -1,37 +1,12 @@
 //! Table 1 kernel: workload generation plus the 16 KB fully-associative
-//! L1 filter, per benchmark class.
+//! L1 filter, per benchmark class. Kernel body lives in
+//! `execmig_bench::kernels`.
 
 use execmig_bench::harness::Runner;
-use execmig_bench::workload;
-use execmig_experiments::l1filter::L1Filter;
-use execmig_trace::{LineSize, Workload};
-use std::hint::black_box;
-
-const INSTRS: u64 = 500_000;
-
-fn bench_table1(c: &mut Runner) {
-    let mut g = c.benchmark_group("table1");
-    g.throughput(INSTRS);
-    g.sample_size(10);
-
-    // One representative per generator engine.
-    for name in ["art", "mcf", "gzip", "gcc", "bzip2"] {
-        g.bench_function(format!("l1_filter/{name}/500k_instr"), |b| {
-            b.iter_batched_ref(
-                || (workload(name), L1Filter::paper(LineSize::DEFAULT)),
-                |(w, filter)| {
-                    while w.instructions() < INSTRS {
-                        black_box(filter.filter(w.next_access()));
-                    }
-                },
-            );
-        });
-    }
-    g.finish();
-}
+use execmig_bench::kernels;
 
 fn main() {
     let mut c = Runner::from_env();
-    bench_table1(&mut c);
+    kernels::bench_table1(&mut c);
     c.finish();
 }

@@ -1,48 +1,12 @@
 //! Table 2 kernel: the full machine (caches + coherence + controller)
-//! per simulated instruction, baseline vs migration mode.
+//! per simulated instruction, baseline vs migration mode. Kernel body
+//! lives in `execmig_bench::kernels`.
 
 use execmig_bench::harness::Runner;
-use execmig_bench::workload;
-use execmig_machine::{Machine, MachineConfig};
-use std::hint::black_box;
-
-const INSTRS: u64 = 1_000_000;
-
-fn bench_table2(c: &mut Runner) {
-    let mut g = c.benchmark_group("table2");
-    g.throughput(INSTRS);
-    g.sample_size(10);
-
-    for name in ["art", "gzip"] {
-        g.bench_function(format!("baseline/{name}/1M_instr"), |b| {
-            b.iter_batched_ref(
-                || (Machine::new(MachineConfig::single_core()), workload(name)),
-                |(m, w)| {
-                    m.run(&mut **w, INSTRS);
-                    black_box(m.stats().l2_misses)
-                },
-            );
-        });
-        g.bench_function(format!("migration/{name}/1M_instr"), |b| {
-            b.iter_batched_ref(
-                || {
-                    (
-                        Machine::new(MachineConfig::four_core_migration()),
-                        workload(name),
-                    )
-                },
-                |(m, w)| {
-                    m.run(&mut **w, INSTRS);
-                    black_box(m.stats().migrations)
-                },
-            );
-        });
-    }
-    g.finish();
-}
+use execmig_bench::kernels;
 
 fn main() {
     let mut c = Runner::from_env();
-    bench_table2(&mut c);
+    kernels::bench_table2(&mut c);
     c.finish();
 }

@@ -83,6 +83,7 @@ pub struct Runner {
     filter: Option<String>,
     quick: bool,
     json: bool,
+    json_out: Option<std::path::PathBuf>,
     results: Vec<BenchResult>,
 }
 
@@ -90,12 +91,23 @@ impl Runner {
     /// A runner configured from the process arguments.
     pub fn from_env() -> Runner {
         let args: Vec<String> = std::env::args().skip(1).collect();
+        let json_out = args
+            .iter()
+            .position(|a| a == "--json-out")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from);
         Runner {
-            // cargo may append harness flags; any non-flag is a filter.
-            filter: args.iter().find(|a| !a.starts_with('-')).cloned(),
+            // cargo may append harness flags; any non-flag that is not
+            // the --json-out operand is a filter.
+            filter: args
+                .iter()
+                .enumerate()
+                .find(|(i, a)| !a.starts_with('-') && (*i == 0 || args[i - 1] != "--json-out"))
+                .map(|(_, a)| a.clone()),
             quick: args.iter().any(|a| a == "--quick")
                 || std::env::var_os("EXECMIG_BENCH_QUICK").is_some(),
             json: args.iter().any(|a| a == "--json"),
+            json_out,
             results: Vec::new(),
         }
     }
@@ -110,10 +122,18 @@ impl Runner {
         }
     }
 
-    /// Prints the JSON tail (when `--json`) and drops the runner.
+    /// Prints the JSON tail (when `--json`), writes the JSON file
+    /// (when `--json-out PATH`), and drops the runner.
     pub fn finish(self) {
+        let json = (self.json || self.json_out.is_some()).then(|| self.results.to_json().pretty());
         if self.json {
-            println!("{}", self.results.to_json().pretty());
+            println!("{}", json.as_deref().unwrap_or("[]"));
+        }
+        if let (Some(path), Some(json)) = (&self.json_out, &json) {
+            match std::fs::write(path, format!("{json}\n")) {
+                Ok(()) => eprintln!("wrote {} results to {}", self.results.len(), path.display()),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            }
         }
     }
 
@@ -259,6 +279,7 @@ mod tests {
             filter: None,
             quick: true,
             json: false,
+            json_out: None,
             results: Vec::new(),
         }
     }

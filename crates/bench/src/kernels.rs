@@ -1,0 +1,140 @@
+//! The perf-trajectory bench kernels, shared between the per-artefact
+//! bench targets and the combined `suite` target that exports
+//! `BENCH_<n>.json` for the CI perf gate.
+//!
+//! Three kernels cover the simulator's cost structure end to end:
+//!
+//! - `caches` — the [`execmig_cache::Cache`] per-reference hot path
+//!   (fused lookup+fill via [`Cache::access`]), plus the
+//!   fully-associative LRU and Mattson-stack substrates;
+//! - `table1` — workload generation through the 16 KB fully-associative
+//!   L1 filter (the front half of every experiment);
+//! - `table2` — the full machine (caches + coherence + controller) per
+//!   simulated instruction, baseline vs migration mode.
+
+use crate::harness::Runner;
+use crate::{workload, LineStream};
+use execmig_cache::{Cache, CacheConfig, FullyAssocLru, LruStack};
+use execmig_experiments::l1filter::L1Filter;
+use execmig_machine::{Machine, MachineConfig};
+use execmig_trace::{LineAddr, LineSize, Workload};
+use std::hint::black_box;
+
+/// Set-associative / skewed-associative per-reference throughput.
+pub fn bench_set_assoc(c: &mut Runner) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(1);
+
+    for (label, config) in [
+        (
+            "modulo_512k_4w",
+            CacheConfig::set_associative(512 << 10, 4, 64),
+        ),
+        ("skewed_512k_4w", CacheConfig::skewed(512 << 10, 4, 64)),
+    ] {
+        g.bench_function(format!("lookup_fill/{label}"), |b| {
+            let mut cache = Cache::new(config);
+            let mut lines = LineStream::new(7, 14);
+            // Warm to steady state (evictions happening).
+            for _ in 0..50_000 {
+                cache.access(LineAddr::new(lines.next_line()), false);
+            }
+            b.iter(|| {
+                // The machine's L1/L2 read path: one fused probe.
+                black_box(cache.access(LineAddr::new(lines.next_line()), false))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Fully-associative LRU per-access throughput.
+pub fn bench_fully_assoc(c: &mut Runner) {
+    let mut g = c.benchmark_group("fully_assoc_lru");
+    g.throughput(1);
+    g.bench_function("access/256_lines", |b| {
+        let mut cache = FullyAssocLru::new(256);
+        let mut lines = LineStream::new(9, 10);
+        b.iter(|| black_box(cache.access(lines.next_line())));
+    });
+    g.finish();
+}
+
+/// Mattson LRU-stack per-access throughput.
+pub fn bench_stack(c: &mut Runner) {
+    let mut g = c.benchmark_group("lru_stack");
+    g.throughput(1);
+    for bits in [10u32, 16, 18] {
+        g.bench_function(format!("access/{}_distinct_lines", 1u64 << bits), |b| {
+            let mut stack = LruStack::new();
+            let mut lines = LineStream::new(11, bits);
+            for _ in 0..(1u64 << bits) * 2 {
+                stack.access(lines.next_line());
+            }
+            b.iter(|| black_box(stack.access(lines.next_line())));
+        });
+    }
+    g.finish();
+}
+
+/// Instructions simulated per Table 1 L1-filter iteration.
+pub const TABLE1_INSTRS: u64 = 500_000;
+
+/// Workload generation + the 16 KB fully-associative L1 filter.
+pub fn bench_table1(c: &mut Runner) {
+    let mut g = c.benchmark_group("table1");
+    g.throughput(TABLE1_INSTRS);
+    g.sample_size(10);
+
+    // One representative per generator engine.
+    for name in ["art", "mcf", "gzip", "gcc", "bzip2"] {
+        g.bench_function(format!("l1_filter/{name}/500k_instr"), |b| {
+            b.iter_batched_ref(
+                || (workload(name), L1Filter::paper(LineSize::DEFAULT)),
+                |(w, filter)| {
+                    while w.instructions() < TABLE1_INSTRS {
+                        black_box(filter.filter(w.next_access()));
+                    }
+                },
+            );
+        });
+    }
+    g.finish();
+}
+
+/// Instructions simulated per Table 2 machine iteration.
+pub const TABLE2_INSTRS: u64 = 1_000_000;
+
+/// The full machine per simulated instruction.
+pub fn bench_table2(c: &mut Runner) {
+    let mut g = c.benchmark_group("table2");
+    g.throughput(TABLE2_INSTRS);
+    g.sample_size(10);
+
+    for name in ["art", "gzip"] {
+        g.bench_function(format!("baseline/{name}/1M_instr"), |b| {
+            b.iter_batched_ref(
+                || (Machine::new(MachineConfig::single_core()), workload(name)),
+                |(m, w)| {
+                    m.run(&mut **w, TABLE2_INSTRS);
+                    black_box(m.stats().l2_misses)
+                },
+            );
+        });
+        g.bench_function(format!("migration/{name}/1M_instr"), |b| {
+            b.iter_batched_ref(
+                || {
+                    (
+                        Machine::new(MachineConfig::four_core_migration()),
+                        workload(name),
+                    )
+                },
+                |(m, w)| {
+                    m.run(&mut **w, TABLE2_INSTRS);
+                    black_box(m.stats().migrations)
+                },
+            );
+        });
+    }
+    g.finish();
+}

@@ -14,9 +14,15 @@
 //! [`harness::Runner`] — a small, dependency-free measurement loop
 //! (calibrated batches, median/p90 over N samples). Pass a substring
 //! to filter benchmarks, `--quick` for a fast pass, `--json` for
-//! machine-readable results.
+//! machine-readable results on stdout, or `--json-out PATH` to write
+//! them to a file (the CI perf-trajectory gate uses the `suite`
+//! target with `--json-out BENCH_<n>.json`).
+//!
+//! The kernels shared by the per-artefact targets and the combined
+//! `suite` target live in [`kernels`].
 
 pub mod harness;
+pub mod kernels;
 
 use execmig_trace::{suite, BoxedWorkload};
 

@@ -119,21 +119,66 @@ pub struct Evicted {
     pub modified: bool,
 }
 
+/// Outcome of a combined [`Cache::access`] (lookup + fill-on-miss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// True if the line was already resident (the access was a hit).
+    pub hit: bool,
+    /// The line evicted to make room, if the access missed a full set.
+    pub evicted: Option<Evicted>,
+}
+
+/// Outcome of [`Cache::fill_if_absent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillIfAbsent {
+    /// The line was already resident; nothing changed (not even
+    /// recency — a conditional fill is not a use).
+    Present,
+    /// The line was inserted, evicting the carried line if any.
+    Filled(Option<Evicted>),
+}
+
+/// Modified bit of [`Frame::meta`].
+const MODIFIED: u64 = 1;
+/// Valid bit of [`Frame::meta`].
+const VALID: u64 = 2;
+/// LRU timestamp occupies the remaining high bits of [`Frame::meta`].
+const LAST_SHIFT: u32 = 2;
+
+/// One 16-byte cache frame: the line tag plus packed metadata.
+///
+/// `meta` packs `(last << 2) | valid << 1 | modified`. The packing makes
+/// `meta` itself the LRU victim-selection key: invalid frames are zeroed
+/// (key 0, always preferred), and among valid frames the timestamps are
+/// distinct (the clock ticks once per use), so the low valid/modified
+/// bits never reorder two candidates.
 #[derive(Debug, Clone, Copy)]
 struct Frame {
     line: u64,
-    valid: bool,
-    modified: bool,
-    /// LRU timestamp (larger = more recent).
-    last: u64,
+    meta: u64,
 }
 
-const EMPTY: Frame = Frame {
-    line: 0,
-    valid: false,
-    modified: false,
-    last: 0,
-};
+impl Frame {
+    #[inline(always)]
+    fn is_valid(&self) -> bool {
+        self.meta & VALID != 0
+    }
+
+    #[inline(always)]
+    fn is_modified(&self) -> bool {
+        self.meta & MODIFIED != 0
+    }
+}
+
+const EMPTY: Frame = Frame { line: 0, meta: 0 };
+
+/// A fused set scan: either the matching frame, or the victim the LRU
+/// policy selects for this set (first invalid frame, else smallest
+/// timestamp, earliest way on ties).
+enum Probe {
+    Hit(usize),
+    Miss(usize),
+}
 
 /// Per-way keys for the skewing hashes.
 const SKEW_KEYS: [u64; 8] = [
@@ -150,6 +195,13 @@ const SKEW_KEYS: [u64; 8] = [
 /// A set-associative or skewed-associative cache with true-LRU
 /// replacement among the candidate frames.
 ///
+/// Frames are stored *set-major*: the `ways` candidate frames of a
+/// modulo set are one contiguous 64-byte block reached with a single
+/// index computation, and a fused probe both matches the tag and tracks
+/// the LRU victim (branchless min over the packed metadata word) in one
+/// pass. Occupancy is maintained incrementally, so [`Cache::occupancy`]
+/// is O(1) rather than a scan over every frame.
+///
 /// ```
 /// use execmig_cache::{Cache, CacheConfig};
 /// use execmig_trace::LineAddr;
@@ -160,13 +212,20 @@ const SKEW_KEYS: [u64; 8] = [
 /// let evicted = l2.fill(line, false);
 /// assert!(evicted.is_none());
 /// assert!(l2.lookup(line));
+/// assert_eq!(l2.occupancy(), 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: u64,
+    /// `sets - 1`; the set count is a power of two.
+    set_mask: u64,
+    /// Per-way skewing keys, fixed at construction (ways ≤ 8 for
+    /// skewed indexing).
+    skew: [u64; 8],
     frames: Vec<Frame>,
     clock: u64,
+    /// Valid-frame count, maintained by fill/invalidate.
+    live: u64,
 }
 
 impl Cache {
@@ -189,9 +248,11 @@ impl Cache {
         let sets = config.sets();
         Cache {
             config,
-            sets,
+            set_mask: sets - 1,
+            skew: SKEW_KEYS,
             frames: vec![EMPTY; (sets * config.ways as u64) as usize],
             clock: 0,
+            live: 0,
         }
     }
 
@@ -200,42 +261,109 @@ impl Cache {
         &self.config
     }
 
-    /// Frame index of (way, set).
-    fn frame_at(&self, way: u32, set: u64) -> usize {
-        (way as u64 * self.sets + set) as usize
+    /// The skewing hash of way `key` (identical across cache sizes up
+    /// to the final mask, so skewed caches of different capacities
+    /// spread conflicts the same way).
+    #[inline(always)]
+    fn mix(z: u64) -> u64 {
+        let mut z = z;
+        z ^= z >> 29;
+        z = z.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z ^= z >> 32;
+        z
     }
 
-    /// The set index `line` maps to in `way`.
-    fn index(&self, line: u64, way: u32) -> u64 {
+    /// One fused pass over the candidate frames of `raw`: returns the
+    /// matching frame, or the LRU victim (first invalid way, else the
+    /// smallest timestamp; earliest way on ties — `meta` is the
+    /// comparison key, see [`Frame`]).
+    #[inline]
+    fn probe(&self, raw: u64) -> Probe {
+        let ways = self.config.ways as usize;
         match self.config.indexing {
-            Indexing::Modulo => line & (self.sets - 1),
+            Indexing::Modulo => {
+                let base = ((raw & self.set_mask) as usize) * ways;
+                let set = &self.frames[base..base + ways];
+                let mut victim = base;
+                let mut vkey = u64::MAX;
+                for (w, frame) in set.iter().enumerate() {
+                    if frame.is_valid() && frame.line == raw {
+                        return Probe::Hit(base + w);
+                    }
+                    // Branchless min; strict < keeps the earliest way.
+                    let better = frame.meta < vkey;
+                    victim = if better { base + w } else { victim };
+                    vkey = if better { frame.meta } else { vkey };
+                }
+                Probe::Miss(victim)
+            }
             Indexing::Skewed => {
-                let mut z = line ^ SKEW_KEYS[way as usize];
-                z ^= z >> 29;
-                z = z.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                z ^= z >> 32;
-                z & (self.sets - 1)
+                // Compute every way's hashed frame index first: the
+                // (independent) frame loads can then issue in parallel
+                // instead of serialising behind each way's hash.
+                let mut fidx = [0usize; 8];
+                for (w, slot) in fidx.iter_mut().enumerate().take(ways) {
+                    let set = Self::mix(raw ^ self.skew[w]) & self.set_mask;
+                    *slot = (set as usize) * ways + w;
+                }
+                let mut victim = 0usize;
+                let mut vkey = u64::MAX;
+                for &f in fidx.iter().take(ways) {
+                    let frame = &self.frames[f];
+                    if frame.is_valid() && frame.line == raw {
+                        return Probe::Hit(f);
+                    }
+                    let better = frame.meta < vkey;
+                    victim = if better { f } else { victim };
+                    vkey = if better { frame.meta } else { vkey };
+                }
+                Probe::Miss(victim)
             }
         }
     }
 
-    fn find(&self, line: u64) -> Option<usize> {
-        for way in 0..self.config.ways {
-            let f = self.frame_at(way, self.index(line, way));
-            let frame = &self.frames[f];
-            if frame.valid && frame.line == line {
-                return Some(f);
-            }
+    #[inline]
+    fn find(&self, raw: u64) -> Option<usize> {
+        match self.probe(raw) {
+            Probe::Hit(f) => Some(f),
+            Probe::Miss(_) => None,
         }
-        None
+    }
+
+    /// Refreshes recency of the frame at `f` and ORs in `modified`.
+    #[inline(always)]
+    fn touch(&mut self, f: usize, modified: bool) {
+        self.clock += 1;
+        let frame = &mut self.frames[f];
+        frame.meta = (self.clock << LAST_SHIFT) | VALID | (frame.meta & MODIFIED) | modified as u64;
+    }
+
+    /// Replaces the frame at `f` with `raw`, returning the eviction.
+    #[inline(always)]
+    fn replace(&mut self, f: usize, raw: u64, modified: bool) -> Option<Evicted> {
+        let old = self.frames[f];
+        let evicted = if old.is_valid() {
+            Some(Evicted {
+                line: LineAddr::new(old.line),
+                modified: old.is_modified(),
+            })
+        } else {
+            self.live += 1;
+            None
+        };
+        self.clock += 1;
+        self.frames[f] = Frame {
+            line: raw,
+            meta: (self.clock << LAST_SHIFT) | VALID | modified as u64,
+        };
+        evicted
     }
 
     /// True if `line` is resident, updating its recency (a *use*).
     pub fn lookup(&mut self, line: LineAddr) -> bool {
         match self.find(line.raw()) {
             Some(f) => {
-                self.clock += 1;
-                self.frames[f].last = self.clock;
+                self.touch(f, false);
                 true
             }
             None => false,
@@ -249,7 +377,7 @@ impl Cache {
 
     /// The modified bit of `line`, if resident.
     pub fn modified(&self, line: LineAddr) -> Option<bool> {
-        self.find(line.raw()).map(|f| self.frames[f].modified)
+        self.find(line.raw()).map(|f| self.frames[f].is_modified())
     }
 
     /// Sets or clears the modified bit of `line` if resident; returns
@@ -258,10 +386,49 @@ impl Cache {
     pub fn set_modified(&mut self, line: LineAddr, modified: bool) -> bool {
         match self.find(line.raw()) {
             Some(f) => {
-                self.frames[f].modified = modified;
+                let frame = &mut self.frames[f];
+                frame.meta = (frame.meta & !MODIFIED) | modified as u64;
                 true
             }
             None => false,
+        }
+    }
+
+    /// Combined lookup + fill-on-miss in a single probe: the per-access
+    /// hot path of the machine's L1s. A hit refreshes recency and ORs
+    /// in `modified`; a miss inserts the line, evicting the LRU
+    /// candidate if every candidate frame is valid.
+    ///
+    /// State-equivalent to `if !lookup(l) { fill(l, m) }` for clean
+    /// accesses (`m == false`, the L1 read path) — same LRU clock
+    /// sequence, one set probe instead of two. With `m == true` a hit
+    /// ORs the bit in, matching [`Cache::fill`].
+    pub fn access(&mut self, line: LineAddr, modified: bool) -> AccessOutcome {
+        let raw = line.raw();
+        match self.probe(raw) {
+            Probe::Hit(f) => {
+                self.touch(f, modified);
+                AccessOutcome {
+                    hit: true,
+                    evicted: None,
+                }
+            }
+            Probe::Miss(victim) => AccessOutcome {
+                hit: false,
+                evicted: self.replace(victim, raw, modified),
+            },
+        }
+    }
+
+    /// Inserts `line` only when absent, in a single probe. A resident
+    /// line is left untouched — no recency refresh, no modified-bit
+    /// change (a conditional fill, e.g. a prefetch probe, is not a
+    /// use). State-equivalent to `if !contains(l) { fill(l, m) }`.
+    pub fn fill_if_absent(&mut self, line: LineAddr, modified: bool) -> FillIfAbsent {
+        let raw = line.raw();
+        match self.probe(raw) {
+            Probe::Hit(_) => FillIfAbsent::Present,
+            Probe::Miss(victim) => FillIfAbsent::Filled(self.replace(victim, raw, modified)),
         }
     }
 
@@ -271,59 +438,27 @@ impl Cache {
     /// If the line is already resident this is a use: recency is
     /// refreshed, the modified bit is OR-ed in, and no eviction happens.
     pub fn fill(&mut self, line: LineAddr, modified: bool) -> Option<Evicted> {
-        let raw = line.raw();
-        if let Some(f) = self.find(raw) {
-            self.clock += 1;
-            self.frames[f].last = self.clock;
-            self.frames[f].modified |= modified;
-            return None;
-        }
-        // Choose the victim among the candidate frames: first invalid,
-        // else least recently used.
-        let mut victim = self.frame_at(0, self.index(raw, 0));
-        for way in 0..self.config.ways {
-            let f = self.frame_at(way, self.index(raw, way));
-            if !self.frames[f].valid {
-                victim = f;
-                break;
-            }
-            if self.frames[f].last < self.frames[victim].last {
-                victim = f;
-            }
-        }
-        let evicted = if self.frames[victim].valid {
-            Some(Evicted {
-                line: LineAddr::new(self.frames[victim].line),
-                modified: self.frames[victim].modified,
-            })
-        } else {
-            None
-        };
-        self.clock += 1;
-        self.frames[victim] = Frame {
-            line: raw,
-            valid: true,
-            modified,
-            last: self.clock,
-        };
-        evicted
+        self.access(line, modified).evicted
     }
 
     /// Removes `line` if resident, returning its state.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
         self.find(line.raw()).map(|f| {
             let frame = &mut self.frames[f];
-            frame.valid = false;
-            Evicted {
+            let evicted = Evicted {
                 line: LineAddr::new(frame.line),
-                modified: frame.modified,
-            }
+                modified: frame.is_modified(),
+            };
+            frame.meta = 0;
+            self.live -= 1;
+            evicted
         })
     }
 
-    /// Number of valid lines currently resident.
+    /// Number of valid lines currently resident. O(1): the count is
+    /// maintained incrementally by fills and invalidations.
     pub fn occupancy(&self) -> u64 {
-        self.frames.iter().filter(|f| f.valid).count() as u64
+        self.live
     }
 
     /// Iterates over resident lines (and their modified bits), in no
@@ -331,8 +466,8 @@ impl Cache {
     pub fn resident_lines(&self) -> impl Iterator<Item = (LineAddr, bool)> + '_ {
         self.frames
             .iter()
-            .filter(|f| f.valid)
-            .map(|f| (LineAddr::new(f.line), f.modified))
+            .filter(|f| f.is_valid())
+            .map(|f| (LineAddr::new(f.line), f.is_modified()))
     }
 }
 
@@ -475,6 +610,106 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_pow2_sets() {
         Cache::new(CacheConfig::set_associative(192, 1, 64));
+    }
+
+    /// The incremental occupancy counter always matches a full scan.
+    fn scan_occupancy(c: &Cache) -> u64 {
+        c.resident_lines().count() as u64
+    }
+
+    #[test]
+    fn access_equals_lookup_then_fill() {
+        // Drive two caches through the same reference stream, one with
+        // the fused access(), one with the legacy lookup-then-fill
+        // sequence; every observable must stay identical.
+        let mut fused = small();
+        let mut split = small();
+        let mut x = 7u64;
+        for i in 0..5_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let line = LineAddr::new(x % 40);
+            // The L1 read path: clean accesses only (a hit with
+            // modified=true ORs the bit in, which plain lookup would
+            // not — see the access() contract).
+            let out = fused.access(line, false);
+            let hit = split.lookup(line);
+            let evicted = if hit { None } else { split.fill(line, false) };
+            assert_eq!(out.hit, hit, "step {i}");
+            assert_eq!(out.evicted, evicted, "step {i}");
+            assert_eq!(fused.occupancy(), split.occupancy(), "step {i}");
+            assert_eq!(fused.occupancy(), scan_occupancy(&fused), "step {i}");
+        }
+        let mut a: Vec<_> = fused.resident_lines().collect();
+        let mut b: Vec<_> = split.resident_lines().collect();
+        a.sort_unstable_by_key(|(l, _)| l.raw());
+        b.sort_unstable_by_key(|(l, _)| l.raw());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fill_if_absent_does_not_touch_resident_lines() {
+        let mut c = small();
+        c.fill(LineAddr::new(0), false);
+        c.fill(LineAddr::new(8), false);
+        // 0 is LRU. A conditional fill of 8 must NOT refresh it…
+        assert_eq!(
+            c.fill_if_absent(LineAddr::new(8), true),
+            FillIfAbsent::Present
+        );
+        // …so its modified bit is untouched and 0 is still evicted
+        // first? No: 0 is LRU, so 16 evicts 0.
+        assert_eq!(c.modified(LineAddr::new(8)), Some(false));
+        let ev = c.fill(LineAddr::new(16), false).expect("set is full");
+        assert_eq!(
+            ev.line,
+            LineAddr::new(0),
+            "fill_if_absent refreshed recency"
+        );
+        // An absent line is inserted with the given modified bit.
+        match c.fill_if_absent(LineAddr::new(24), true) {
+            FillIfAbsent::Filled(ev) => assert!(ev.is_some(), "set was full"),
+            FillIfAbsent::Present => panic!("24 was absent"),
+        }
+        assert_eq!(c.modified(LineAddr::new(24)), Some(true));
+    }
+
+    #[test]
+    fn occupancy_counter_tracks_invalidate_and_refill() {
+        let mut c = small();
+        for i in 0..100u64 {
+            c.fill(LineAddr::new(i), i % 2 == 0);
+            if i % 7 == 0 {
+                c.invalidate(LineAddr::new(i / 2));
+            }
+            assert_eq!(c.occupancy(), scan_occupancy(&c), "step {i}");
+        }
+        for i in 0..100u64 {
+            c.invalidate(LineAddr::new(i));
+        }
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(scan_occupancy(&c), 0);
+    }
+
+    #[test]
+    fn skewed_access_matches_legacy_sequence() {
+        let cfg = CacheConfig::skewed(16 << 10, 4, 64);
+        let mut fused = Cache::new(cfg);
+        let mut split = Cache::new(cfg);
+        let mut x = 99u64;
+        for i in 0..20_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let line = LineAddr::new(x % 600);
+            let out = fused.access(line, false);
+            let hit = split.lookup(line);
+            let evicted = if hit { None } else { split.fill(line, false) };
+            assert_eq!((out.hit, out.evicted), (hit, evicted), "step {i}");
+        }
+        assert_eq!(fused.occupancy(), split.occupancy());
+        assert_eq!(fused.occupancy(), scan_occupancy(&fused));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod fully_assoc;
 pub mod profile;
 pub mod stack;
 
-pub use cache::{Cache, CacheConfig, Evicted, Indexing};
+pub use cache::{AccessOutcome, Cache, CacheConfig, Evicted, FillIfAbsent, Indexing};
 pub use fully_assoc::FullyAssocLru;
 pub use profile::StackProfile;
 pub use stack::LruStack;

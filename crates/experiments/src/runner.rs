@@ -1,8 +1,9 @@
 //! Thread-parallel experiment execution, with span-timer telemetry.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
-use execmig_obs::{Json, SpanSet, ToJson};
+use execmig_obs::{Json, Span, SpanSet, ToJson};
 
 /// Wall-clock telemetry of one [`parallel_map_timed`] run: per-task
 /// spans (which thread ran what, when, for how long) and the derived
@@ -75,9 +76,17 @@ where
 /// Like [`parallel_map`], additionally returning a [`RunnerReport`]
 /// with per-task span timers and per-thread utilisation.
 ///
+/// Workers pull `(index, item)` pairs off one shared queue and buffer
+/// results and span timings locally, so the per-task hot path takes a
+/// single short lock (the claim) and allocates nothing; span labels are
+/// formatted and merged after the workers join.
+///
 /// # Panics
 ///
-/// Panics if `threads == 0` or if `f` panics on a worker thread.
+/// Panics if `threads == 0`. If `f` panics on a worker thread, the
+/// remaining workers stop claiming tasks and the *original* panic
+/// payload is re-raised on the caller's thread, after the failing task
+/// index is printed to stderr.
 pub fn parallel_map_timed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> (Vec<R>, RunnerReport)
 where
     T: Send,
@@ -98,40 +107,81 @@ where
         );
     }
     let threads = threads.min(n);
-    let next = AtomicUsize::new(0);
-    // Move items into per-index slots the workers can claim.
-    let inputs: Vec<std::sync::Mutex<Option<T>>> = items
-        .into_iter()
-        .map(|x| std::sync::Mutex::new(Some(x)))
-        .collect();
-    let outputs: Vec<std::sync::Mutex<Option<R>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let queue = Mutex::new(items.into_iter().enumerate());
+    // First panic wins: (task index, original payload).
+    let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+    // Per-worker (task, result) and (task, start_us, duration_us)
+    // buffers, in worker order.
+    type Timings = Vec<(usize, u64, u64)>;
+    let mut per_worker: Vec<(Vec<(usize, R)>, Timings)> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
-        for worker in 0..threads {
-            let spans = &spans;
-            let next = &next;
-            let inputs = &inputs;
-            let outputs = &outputs;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = inputs[i]
-                    .lock()
-                    .expect("input lock")
-                    .take()
-                    .expect("item claimed twice");
-                let result = spans.time(&format!("task-{i}"), worker, || f(item));
-                *outputs[i].lock().expect("output lock") = Some(result);
-            });
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let queue = &queue;
+                let spans = &spans;
+                let panicked = &panicked;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut results = Vec::new();
+                    let mut timings = Vec::new();
+                    loop {
+                        if panicked.lock().expect("panic slot").is_some() {
+                            break;
+                        }
+                        let Some((i, item)) = queue.lock().expect("task queue").next() else {
+                            break;
+                        };
+                        let start_us = spans.wall_micros();
+                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                            Ok(result) => {
+                                let duration_us = spans.wall_micros().saturating_sub(start_us);
+                                results.push((i, result));
+                                timings.push((i, start_us, duration_us));
+                            }
+                            Err(payload) => {
+                                let mut slot = panicked.lock().expect("panic slot");
+                                if slot.is_none() {
+                                    *slot = Some((i, payload));
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    (results, timings)
+                })
+            })
+            .collect();
+        for handle in workers {
+            // Workers catch `f`'s panics themselves; join only fails on
+            // a runner-internal bug, which the panic slot cannot carry.
+            match handle.join() {
+                Ok(buffers) => per_worker.push(buffers),
+                Err(payload) => resume_unwind(payload),
+            }
         }
     });
+    if let Some((i, payload)) = panicked.into_inner().expect("panic slot") {
+        eprintln!("parallel_map: task {i} panicked, re-raising");
+        resume_unwind(payload);
+    }
     let wall_us = spans.wall_micros();
-    let results = outputs
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (worker, (worker_results, timings)) in per_worker.into_iter().enumerate() {
+        for (i, result) in worker_results {
+            results[i] = Some(result);
+        }
+        for (i, start_us, duration_us) in timings {
+            spans.record(Span {
+                label: format!("task-{i}"),
+                thread: worker,
+                start_us,
+                duration_us,
+            });
+        }
+    }
+    let results = results
         .into_iter()
-        .map(|m| m.into_inner().expect("output lock").expect("worker died"))
+        .map(|r| r.expect("every task produced a result"))
         .collect();
     (
         results,
@@ -200,6 +250,37 @@ mod tests {
         // JSON export carries the spans.
         use execmig_obs::ToJson;
         assert!(report.to_json().get("spans").is_some());
+    }
+
+    #[test]
+    fn panicking_task_reraises_the_original_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map((0..32).collect(), 4, |x: i32| {
+                if x == 5 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("a worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("original String payload");
+        assert_eq!(msg, "boom at 5");
+    }
+
+    #[test]
+    fn spans_carry_task_labels() {
+        let (_, report) = parallel_map_timed((0..6).collect(), 2, |x: u64| x);
+        let labels: Vec<String> = report
+            .spans
+            .spans()
+            .iter()
+            .map(|s| s.label.clone())
+            .collect();
+        for i in 0..6 {
+            assert!(labels.contains(&format!("task-{i}")), "missing task-{i}");
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The machine: cores, caches, coherence, and the run loop.
 
-use execmig_cache::Cache;
+use execmig_cache::{Cache, FillIfAbsent};
 use execmig_core::MigrationController;
 use execmig_obs::{EventKind, Histogram, Registry, Tracer};
 use execmig_trace::{AccessKind, LineAddr, LineSize, Workload};
@@ -91,6 +91,24 @@ impl Machine {
     /// The core currently executing.
     pub fn active_core(&self) -> usize {
         self.active
+    }
+
+    /// Switches execution to `core` directly, as an external scheduler
+    /// would. Unlike controller-driven migration this does not count in
+    /// [`MachineStats::migrations`] — tests and experiments use it to
+    /// drive cross-core coherence scenarios on controller-less
+    /// machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is not below the configured core count.
+    pub fn activate(&mut self, core: usize) {
+        assert!(
+            core < self.config.cores,
+            "core {core} out of range for {} cores",
+            self.config.cores
+        );
+        self.active = core;
     }
 
     /// Collected statistics.
@@ -219,9 +237,9 @@ impl Machine {
         match kind {
             AccessKind::IFetch => {
                 self.stats.ifetches += 1;
-                if !self.il1.lookup(line) {
+                // Fused probe: one set scan decides hit-or-fill.
+                if !self.il1.access(line, false).hit {
                     self.stats.il1_misses += 1;
-                    self.il1.fill(line, false);
                     self.bus.charge_l1_mirror(self.line.bytes());
                     self.tracer.emit(instructions_now, EventKind::BusBroadcast);
                     self.l1_request(line, pointer);
@@ -229,9 +247,8 @@ impl Machine {
             }
             AccessKind::Load => {
                 self.stats.loads += 1;
-                if !self.dl1.lookup(line) {
+                if !self.dl1.access(line, false).hit {
                     self.stats.dl1_misses += 1;
-                    self.dl1.fill(line, false);
                     self.bus.charge_l1_mirror(self.line.bytes());
                     self.tracer.emit(instructions_now, EventKind::BusBroadcast);
                     self.l1_request(line, pointer);
@@ -300,20 +317,36 @@ impl Machine {
     }
 
     /// Sequential prefetch (§6 extension): on a read miss for `line`,
-    /// pull the next `degree` lines into the active L2 (from L3;
-    /// prefetches never forward modified remote copies).
+    /// pull the next `degree` lines into the active L2 from L3.
+    ///
+    /// Prefetches never forward modified remote copies — and must not
+    /// fill *around* them either: the L3 data for such a line is stale
+    /// until the owner writes back, so filling it would plant a clean
+    /// copy of old data that later demand hits would read. Those lines
+    /// are skipped (the demand path forwards them properly). Lines past
+    /// the top of the address space are dropped, not wrapped.
     fn prefetch_after(&mut self, line: LineAddr) {
         let Some(p) = self.config.prefetch else {
             return;
         };
+        let active = self.active;
         for i in 1..=p.degree as u64 {
-            let next = LineAddr::new(line.raw() + i);
-            if !self.l2[self.active].contains(next) {
+            let Some(raw) = line.raw().checked_add(i) else {
+                break;
+            };
+            let next = LineAddr::new(raw);
+            if self
+                .l2
+                .iter()
+                .enumerate()
+                .any(|(c, l2)| c != active && l2.modified(next) == Some(true))
+            {
+                continue;
+            }
+            if let FillIfAbsent::Filled(evicted) = self.l2[active].fill_if_absent(next, false) {
                 self.stats.prefetch_fills += 1;
-                if let Some(evicted) = self.l2[self.active].fill(next, false) {
-                    if evicted.modified {
-                        self.stats.l3_writebacks += 1;
-                    }
+                if evicted.is_some_and(|e| e.modified) {
+                    self.stats.l3_writebacks += 1;
                 }
             }
         }

@@ -91,6 +91,13 @@ impl SpanSet {
         result
     }
 
+    /// Adds an already-measured span. Workers that batch their timings
+    /// locally (e.g. the experiment runner) use this to merge them in
+    /// afterwards without taking the set's lock per task.
+    pub fn record(&self, span: Span) {
+        self.spans.lock().expect("span lock").push(span);
+    }
+
     /// Wall-clock µs since the set was created.
     pub fn wall_micros(&self) -> u64 {
         self.origin.elapsed_micros()
@@ -188,6 +195,21 @@ mod tests {
         assert_eq!(set.spans().len(), 40);
         let u = set.utilisation(4, set.wall_micros().max(1));
         assert!((0.0..=1.0).contains(&u), "utilisation {u}");
+    }
+
+    #[test]
+    fn record_merges_external_spans() {
+        let set = SpanSet::new();
+        set.record(Span {
+            label: "batched".to_string(),
+            thread: 2,
+            start_us: 10,
+            duration_us: 5,
+        });
+        let spans = set.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].label, "batched");
+        assert_eq!(set.thread_busy_micros(), vec![0, 0, 5]);
     }
 
     #[test]

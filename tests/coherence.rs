@@ -2,9 +2,9 @@
 //! machine's public API with a scripted access sequence and manual
 //! activity placement (no controller, 4 cores).
 
-use execution_migration::machine::{Machine, MachineConfig};
+use execution_migration::machine::{Machine, MachineConfig, PrefetchConfig};
 use execution_migration::trace::workload::InstrBudget;
-use execution_migration::trace::{Access, Addr, Workload};
+use execution_migration::trace::{Access, AccessKind, Addr, LineAddr, Workload};
 
 /// A scripted workload: replays a fixed list of accesses, 1 instruction
 /// each.
@@ -142,6 +142,61 @@ fn every_store_reaches_the_l2() {
     m.run(&mut s, n);
     // 1 load L1-miss request + 3 store write-throughs.
     assert_eq!(m.stats().l2_accesses, 4);
+}
+
+/// A prefetch whose only up-to-date copy is modified in a remote L2
+/// must be skipped: filling the clean L3 image would plant stale data
+/// and shadow the L2-to-L2 forward the demand path owes the line.
+#[test]
+fn prefetch_skips_lines_modified_in_remote_l2s() {
+    let mut m = Machine::new(MachineConfig {
+        cores: 4,
+        controller: None,
+        prefetch: Some(PrefetchConfig { degree: 1 }),
+        ..MachineConfig::single_core()
+    });
+    // Line L, and line L+1 — the prefetch candidate.
+    let a = Addr::new(0x5000_0000);
+    let b = Addr::new(0x5000_0040);
+    // Core 0 dirties line B.
+    let mut s0 = Script::new(vec![Access::store(b)]);
+    m.run(&mut s0, 1);
+    // Core 1 misses line A; the degree-1 prefetcher considers B, whose
+    // only valid copy is modified in core 0's L2.
+    m.activate(1);
+    let mut s1 = Script::new(vec![Access::load(a)]);
+    m.run(&mut s1, 1);
+    assert_eq!(
+        m.stats().prefetch_fills,
+        0,
+        "prefetched a line a remote L2 holds modified"
+    );
+    // The demand load of B on core 1 forwards the modified copy — it
+    // must not hit a stale prefetched one.
+    let forwards_before = m.stats().l2_to_l2_forwards;
+    let mut s2 = Script::new(vec![Access::load(b)]);
+    m.run(&mut s2, 1);
+    assert_eq!(
+        m.stats().l2_to_l2_forwards,
+        forwards_before + 1,
+        "demand load served from a stale prefetched copy"
+    );
+}
+
+/// Prefetch candidates past the top of the line-address space are
+/// dropped, not wrapped (and must not overflow-panic in debug builds).
+#[test]
+fn prefetch_at_address_space_top_drops_out_of_range_lines() {
+    let mut m = Machine::new(MachineConfig {
+        controller: None,
+        prefetch: Some(PrefetchConfig { degree: 4 }),
+        ..MachineConfig::single_core()
+    });
+    // Step the top line directly: every `line + i` candidate overflows.
+    m.step(AccessKind::Load, LineAddr::new(u64::MAX), 1);
+    assert_eq!(m.stats().prefetch_fills, 0);
+    assert_eq!(m.stats().dl1_misses, 1);
+    assert_eq!(m.stats().l2_misses, 1);
 }
 
 /// The update-bus accounting charges register traffic even for

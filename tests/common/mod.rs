@@ -1,0 +1,28 @@
+//! Shared helpers for the integration-test binaries.
+
+/// Instruction budget for a scaled integration run.
+///
+/// Returns `fast` — the CI default, sized so the tier-1 suite stays
+/// under ~2 minutes — unless the `EXECMIG_TEST_INSTR` environment
+/// variable overrides it with an absolute dynamic-instruction count.
+/// The `*_full` variants behind `#[ignore]` bypass this and run the
+/// paper budgets directly (`cargo test -- --ignored`).
+pub fn instr_budget(fast: u64) -> u64 {
+    budget_from(std::env::var("EXECMIG_TEST_INSTR").ok(), fast)
+}
+
+fn budget_from(var: Option<String>, fast: u64) -> u64 {
+    var.and_then(|v| v.parse().ok()).unwrap_or(fast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::budget_from;
+
+    #[test]
+    fn env_override_beats_fast_default() {
+        assert_eq!(budget_from(Some("12345".to_string()), 99), 12345);
+        assert_eq!(budget_from(Some("not a number".to_string()), 99), 99);
+        assert_eq!(budget_from(None, 99), 99);
+    }
+}

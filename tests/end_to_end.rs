@@ -2,6 +2,9 @@
 //! generation through cache simulation, the affinity controller, and
 //! the machine model.
 
+mod common;
+
+use common::instr_budget;
 use execution_migration::core::ControllerConfig;
 use execution_migration::machine::{Machine, MachineConfig};
 use execution_migration::trace::{suite, Workload};
@@ -32,7 +35,7 @@ fn pipeline_is_deterministic() {
 fn machine_and_controller_agree() {
     let mut m = Machine::new(MachineConfig::four_core_migration());
     let mut w = suite::by_name("em3d").unwrap();
-    m.run(&mut *w, 5_000_000);
+    m.run(&mut *w, instr_budget(3_000_000));
     let controller = m.controller().expect("migration machine has a controller");
     assert_eq!(m.stats().migrations, controller.stats().migrations);
     // Every controller request corresponds to a machine L1-miss request.
@@ -46,7 +49,7 @@ fn event_hierarchy_is_consistent() {
     for name in suite::names() {
         let mut m = Machine::new(MachineConfig::single_core());
         let mut w = suite::by_name(name).unwrap();
-        m.run(&mut *w, 1_000_000);
+        m.run(&mut *w, instr_budget(1_000_000));
         let s = m.stats();
         assert!(s.accesses >= s.ifetches + s.loads + s.stores, "{name}");
         assert!(
@@ -116,7 +119,7 @@ fn controller_standalone_matches_machine_without_l2_filter() {
 fn modified_forwards_do_not_exceed_writebacks() {
     let mut m = Machine::new(MachineConfig::four_core_migration());
     let mut w = suite::by_name("bzip2").unwrap();
-    m.run(&mut *w, 10_000_000);
+    m.run(&mut *w, instr_budget(5_000_000));
     let s = m.stats();
     // Every forward also wrote back to L3 (§2.1: "the line is
     // simultaneously written back into L3").
@@ -148,7 +151,7 @@ fn two_core_machine_runs() {
     };
     let mut m = Machine::new(config);
     let mut w = suite::by_name("art").unwrap();
-    m.run(&mut *w, 5_000_000);
+    m.run(&mut *w, instr_budget(3_000_000));
     assert!(m.stats().l2_misses > 0);
     assert!(m.active_core() < 2);
 }
