@@ -87,6 +87,12 @@ pub const CATALOG: &[Rule] = &[
         paper: "repo policy (typed errors at the I/O boundary, total code elsewhere)",
     },
     Rule {
+        id: "E010",
+        kind: RuleKind::Static,
+        title: "profile sampler ring access (.record_sample()/.records()) outside obs sits behind `if Profiler::ACTIVE`, #[cfg(feature = …)], or tests",
+        paper: "repo policy (interval profiling must cost nothing when compiled out)",
+    },
+    Rule {
         id: "I101",
         kind: RuleKind::Runtime,
         title: "affinity values stay within the saturating range of the configured bit width",

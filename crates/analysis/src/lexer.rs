@@ -463,13 +463,15 @@ fn attr_regions(toks: &[Token], marker: &str) -> Vec<Region> {
     out
 }
 
-/// Byte regions of the then-blocks of `if … Tracer::ACTIVE … { … }`.
-/// The else-branch (tracing compiled out) is deliberately NOT exempt.
+/// Byte regions of the then-blocks of `if … Tracer::ACTIVE … { … }`
+/// (or `Profiler::ACTIVE` — the interval profiler follows the same
+/// compile-time-gate discipline). The else-branch (tracing compiled
+/// out) is deliberately NOT exempt.
 pub fn tracer_active_regions(toks: &[Token]) -> Vec<Region> {
     let mut out = Vec::new();
     for k in 0..toks.len() {
         if !(toks[k].kind == TokKind::Ident
-            && toks[k].text == "Tracer"
+            && (toks[k].text == "Tracer" || toks[k].text == "Profiler")
             && matches!(toks.get(k + 1), Some(t) if is_punct(t, ':'))
             && matches!(toks.get(k + 2), Some(t) if is_punct(t, ':'))
             && matches!(toks.get(k + 3), Some(t) if t.kind == TokKind::Ident && t.text == "ACTIVE"))
@@ -621,5 +623,18 @@ mod tests {
         let second = src.rfind("events").expect("present");
         assert!(in_regions(first, &regions));
         assert!(!in_regions(second, &regions));
+    }
+
+    #[test]
+    fn profiler_active_gates_like_tracer() {
+        let src = "fn f(p: &P) { if Profiler::ACTIVE && p.sample_due(n) { p.records(); } }";
+        let toks = lex(src);
+        let regions = tracer_active_regions(&toks);
+        assert_eq!(regions.len(), 1);
+        assert!(in_regions(src.find("records").expect("present"), &regions));
+        assert!(!in_regions(
+            src.find("sample_due").expect("present"),
+            &regions
+        ));
     }
 }

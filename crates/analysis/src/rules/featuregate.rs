@@ -1,4 +1,4 @@
-//! E003/E006: feature-gate discipline for the observability layer.
+//! E003/E006/E010: feature-gate discipline for the observability layer.
 //!
 //! Tracing must cost nothing unless a *top-level* build opts in with
 //! `--features trace`. Two things can silently break that:
@@ -14,6 +14,12 @@
 //!   or a test means the call is *meant* to do work that a default
 //!   build silently skips (E006). The zero-cost `Tracer::emit` API
 //!   needs no gate — that is its point.
+//!
+//! The interval profiler follows the same discipline (E010): its ring
+//! accessors (`.record_sample()`, `.records()`) outside obs must sit
+//! behind `if Profiler::ACTIVE { … }`, a `#[cfg(feature = …)]` item, or
+//! a test. The cheap `sample_due` guard needs no gate — like
+//! `Tracer::emit`, it is the gate.
 
 use crate::diag::Diagnostic;
 use crate::lexer::{self, TokKind};
@@ -21,8 +27,9 @@ use crate::workspace::Workspace;
 
 const RING_METHODS: &[&str] = &["events", "dropped", "emitted"];
 const RING_TYPES: &[&str] = &["EventRing", "TraceEvent"];
+const PROFILER_METHODS: &[&str] = &["record_sample", "records"];
 
-/// Runs E003 (manifests) and E006 (sources).
+/// Runs E003 (manifests), E006, and E010 (sources).
 pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
     for krate in &ws.crates {
         if krate.name == "execmig-obs" {
@@ -65,6 +72,22 @@ pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
                         t.line,
                         format!(
                             "tracer buffer access `{}` outside `if Tracer::ACTIVE`, \
+                             `#[cfg(feature = …)]`, or tests",
+                            t.text
+                        ),
+                    ));
+                }
+                let profiler_banned = PROFILER_METHODS.contains(&t.text.as_str())
+                    && k > 0
+                    && lexer::is_punct(&file.toks[k - 1], '.')
+                    && matches!(file.toks.get(k + 1), Some(n) if lexer::is_punct(n, '('));
+                if profiler_banned && !lexer::in_regions(t.pos, &exempt) {
+                    diags.push(Diagnostic::new(
+                        "E010",
+                        &file.rel,
+                        t.line,
+                        format!(
+                            "profile sampler access `{}` outside `if Profiler::ACTIVE`, \
                              `#[cfg(feature = …)]`, or tests",
                             t.text
                         ),

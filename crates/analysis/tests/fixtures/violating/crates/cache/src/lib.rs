@@ -14,6 +14,11 @@ pub fn drain(t: &Tracer) -> usize {
     t.events().len() // E006: ungated ring-buffer read
 }
 
+pub fn sample(p: &mut execmig_obs::Profiler, c: &execmig_obs::ProfileCumulative) -> usize {
+    p.record_sample(c); // E010: ungated sampler write
+    p.records().len() // E010: ungated sampler read
+}
+
 pub fn head(v: &[u64]) -> u64 {
     *v.first().unwrap() // E009: unwrap in library code
 }

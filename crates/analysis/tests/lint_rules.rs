@@ -35,6 +35,7 @@ fn golden_rule_counts() {
         ("E007", 1),
         ("E008", 1),
         ("E009", 2),
+        ("E010", 2),
     ]
     .into_iter()
     .collect();
@@ -116,6 +117,20 @@ fn gated_tracer_read_is_clean() {
 }
 
 #[test]
+fn gated_profiler_read_is_clean() {
+    let diags = fixture_diags();
+    let e010 = by_rule(&diags, "E010");
+    assert_eq!(e010.len(), 2);
+    assert!(e010.iter().all(|d| d.path == "crates/cache/src/lib.rs"));
+    assert!(e010.iter().any(|d| d.message.contains("record_sample")));
+    assert!(e010.iter().any(|d| d.message.contains("`records`")));
+    // machine.rs reads the sampler inside `if Profiler::ACTIVE { … }`.
+    assert!(!diags
+        .iter()
+        .any(|d| d.path == "crates/machine/src/machine.rs"));
+}
+
+#[test]
 fn unregistered_counter_is_named() {
     let diags = fixture_diags();
     let e007 = by_rule(&diags, "E007");
@@ -137,7 +152,7 @@ fn manual_to_json_impl_satisfies_e008() {
 fn json_report_is_stable() {
     let diags = fixture_diags();
     let json = diag::render_json(&diags);
-    assert!(json.starts_with("{\"count\":14,"));
+    assert!(json.starts_with("{\"count\":16,"));
     assert!(json.contains("\"rule\":\"E001\""));
     assert!(json.contains("\"rule\":\"E009\""));
 }

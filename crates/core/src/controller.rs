@@ -356,6 +356,27 @@ impl MigrationController {
         }
     }
 
+    /// The top-level transition filter's current `F` value — the
+    /// quantity whose sign flips drive migrations (§3.4). For 4-/8-way
+    /// splitting this is `F_X`; for 2-way it is the single filter (or
+    /// `A_R` when configured filterless).
+    pub fn filter_value(&self) -> i64 {
+        match &self.inner {
+            Inner::Two(s) => s.filter_value(),
+            Inner::Four(s) => s.filter_value(),
+            Inner::Eight(s) => s.filter_value(),
+        }
+    }
+
+    /// The top-level mechanism's current window sum `A_R` (§3.2).
+    pub fn ar(&self) -> i64 {
+        match &self.inner {
+            Inner::Two(s) => s.mechanism().ar(),
+            Inner::Four(s) => s.mechanism().ar(),
+            Inner::Eight(s) => s.mechanism().ar(),
+        }
+    }
+
     /// The quadrant/side currently designated, as a subset index.
     pub fn current_subset(&self) -> usize {
         match &self.inner {

@@ -144,6 +144,16 @@ impl<T: AffinityTable> Splitter2<T> {
     pub fn mechanism(&self) -> &Mechanism {
         &self.mechanism
     }
+
+    /// The transition filter's current `F` value; without a filter
+    /// (raw-sign splitting) falls back to the mechanism's `A_R`, which
+    /// plays the same designating role.
+    pub fn filter_value(&self) -> i64 {
+        match &self.filter {
+            Some(f) => f.value(),
+            None => self.mechanism.ar(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -229,6 +229,16 @@ impl<T: AffinityTable> Splitter4<T> {
     pub fn table(&self) -> &T {
         &self.table
     }
+
+    /// The first-level filter's current `F_X` value.
+    pub fn filter_value(&self) -> i64 {
+        self.f_x.value()
+    }
+
+    /// The first-level mechanism (`X`).
+    pub fn mechanism(&self) -> &Mechanism {
+        &self.x
+    }
 }
 
 #[cfg(test)]

@@ -207,6 +207,16 @@ impl<T: AffinityTable> SplitterTree<T> {
     pub fn top_side(&self) -> Side {
         self.levels[0][0].1.side()
     }
+
+    /// Level 0's filter value (`F_X`).
+    pub fn filter_value(&self) -> i64 {
+        self.levels[0][0].1.value()
+    }
+
+    /// Level 0's mechanism (`X`).
+    pub fn mechanism(&self) -> &Mechanism {
+        &self.levels[0][0].0
+    }
 }
 
 #[cfg(test)]

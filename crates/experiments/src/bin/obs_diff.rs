@@ -1,0 +1,116 @@
+//! Cross-run regression diff: compares two JSON artefacts (bench
+//! results, run manifests, exported profiles) metric by metric.
+//!
+//! Usage: `obs_diff BASELINE.json CANDIDATE.json [--threshold R]
+//!                  [--drift] [--json] [--quiet]`
+//!
+//! Metrics are lower-is-better; a relative increase beyond the
+//! threshold (default 0.10) is a regression. `--drift` also flags
+//! decreases (for determinism checks). Exit codes: 0 within threshold,
+//! 1 regression (or any drift under `--drift`), 2 usage/IO error.
+
+use execmig_experiments::diff::{DiffConfig, DiffReport};
+use execmig_experiments::report::{arg_flag, arg_value};
+use execmig_experiments::TextTable;
+use execmig_obs::{json, Json};
+use std::process::exit;
+
+fn load(path: &str) -> Result<Json, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    json::parse(&body).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<&String> = {
+        // Positional operands: non-flags not consumed by --threshold.
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--threshold" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .collect()
+    };
+    let &[baseline, candidate] = files.as_slice() else {
+        eprintln!(
+            "usage: obs_diff BASELINE.json CANDIDATE.json \
+             [--threshold R] [--drift] [--json] [--quiet]"
+        );
+        exit(2);
+    };
+    let config = DiffConfig {
+        threshold: arg_value(&args, "--threshold")
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threshold expects a number, got {v:?}");
+                    exit(2);
+                })
+            })
+            .unwrap_or(DiffConfig::default().threshold),
+        drift: arg_flag(&args, "--drift"),
+    };
+
+    let (a, b) = match (load(baseline), load(candidate)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("obs_diff: {e}");
+            exit(2);
+        }
+    };
+    let report = DiffReport::compare(&a, &b);
+    let regressions = report.regressions(&config);
+
+    if arg_flag(&args, "--json") {
+        println!("{}", report.to_json_summary(&config).pretty());
+    } else if !arg_flag(&args, "--quiet") {
+        if report.is_identical() {
+            println!(
+                "obs_diff: {} metrics compared, zero deltas ({baseline} == {candidate})",
+                report.deltas.len()
+            );
+        } else {
+            let mut t = TextTable::new(&["metric", "baseline", "candidate", "rel", ""]);
+            for d in report.changed() {
+                t.row(&[
+                    d.path.clone(),
+                    format!("{}", d.before),
+                    format!("{}", d.after),
+                    format!("{:+.1}%", d.rel() * 100.0),
+                    if d.regressed(&config) {
+                        "REGRESSED"
+                    } else {
+                        ""
+                    }
+                    .to_string(),
+                ]);
+            }
+            if !t.is_empty() {
+                print!("{}", t.render());
+            }
+            for p in &report.added {
+                println!("added:   {p}");
+            }
+            for p in &report.removed {
+                println!("removed: {p}");
+            }
+            println!(
+                "obs_diff: {} compared, {} changed, {} regressed \
+                 (threshold {:.0}%{})",
+                report.deltas.len(),
+                report.changed().count(),
+                regressions.len(),
+                config.threshold * 100.0,
+                if config.drift { ", drift mode" } else { "" }
+            );
+        }
+    }
+    exit(if regressions.is_empty() { 0 } else { 1 });
+}

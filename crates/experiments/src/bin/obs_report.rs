@@ -4,13 +4,18 @@
 //! affinity-age histograms, and (in `--features trace` builds) the tail
 //! of the typed event ring.
 //!
-//! Usage: `obs_report [--bench NAME] [--instr N] [--json] [--prometheus]
+//! Usage: `obs_report [--bench NAME] [--instr N] [--format FMT]
 //!                     [--events N] [--no-manifest] [--manifest-dir DIR]`
+//!
+//! `--format` selects the machine-readable output: `json` (the metrics
+//! registry as JSON), `csv` (`metric,kind,value` rows), or `prom`
+//! (Prometheus text exposition). Without it the human-readable report
+//! prints. `--json` and `--prometheus` remain as aliases.
 
 use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
 use execmig_machine::{Machine, MachineConfig};
-use execmig_obs::{to_prometheus, Histogram, Json, ToJson, Tracer};
+use execmig_obs::{to_csv, to_prometheus, Histogram, Json, ToJson, Tracer};
 use execmig_trace::suite;
 use std::process::exit;
 
@@ -58,13 +63,26 @@ fn main() {
     let registry = machine.metrics();
     em.stats(registry.to_json());
 
-    if arg_flag(&args, "--prometheus") {
-        print!("{}", to_prometheus(&registry, "execmig_"));
-        em.write();
-        return;
-    }
-    if arg_flag(&args, "--json") {
-        println!("{}", registry.to_json().pretty());
+    // One flag, one dispatch; the old flags alias into it.
+    let format = arg_value(&args, "--format").or_else(|| {
+        if arg_flag(&args, "--prometheus") {
+            Some("prom".to_string())
+        } else if arg_flag(&args, "--json") {
+            Some("json".to_string())
+        } else {
+            None
+        }
+    });
+    if let Some(format) = format {
+        match format.as_str() {
+            "json" => println!("{}", registry.to_json().pretty()),
+            "csv" => print!("{}", to_csv(&registry)),
+            "prom" => print!("{}", to_prometheus(&registry, "execmig_")),
+            other => {
+                eprintln!("unknown --format {other:?}; expected json, csv, or prom");
+                exit(2);
+            }
+        }
         em.write();
         return;
     }

@@ -1,0 +1,304 @@
+//! Cross-run regression diffing of JSON artefacts.
+//!
+//! Compares two runs' numeric metrics — `BENCH_*.json` arrays from the
+//! bench harness, run manifests from [`crate::manifest`], or any other
+//! in-tree JSON artefact — by flattening each document to
+//! `path → number` leaves and reporting relative deltas against a
+//! threshold. The `obs_diff` binary wraps this as a CI soft gate: exit
+//! 0 when within threshold, 1 on regression, 2 on usage/IO errors.
+//!
+//! Semantics: metrics are treated as *lower-is-better* (nanoseconds,
+//! misses, bytes — the units our artefacts carry), so a **regression**
+//! is an increase by more than the relative threshold. `drift` mode
+//! flags movement in *either* direction, which is what a determinism
+//! gate wants. Wall-clock and environment fields of manifests
+//! (`wall_seconds`, `finished_unix_ms`, `crate_version`, `args`) are
+//! ignored: they legitimately differ between identical runs.
+
+use std::collections::BTreeMap;
+
+use execmig_obs::{Json, ToJson};
+
+/// Manifest fields that differ between byte-identical reruns.
+const VOLATILE: &[&str] = &["wall_seconds", "finished_unix_ms", "crate_version", "args"];
+
+/// Comparison settings.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Relative change above which a delta is a regression (0.10 =
+    /// 10 %).
+    pub threshold: f64,
+    /// Flag *any* movement beyond the threshold, not just increases.
+    pub drift: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            threshold: 0.10,
+            drift: false,
+        }
+    }
+}
+
+execmig_obs::impl_to_json!(DiffConfig { threshold, drift });
+
+/// One numeric leaf present in both documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Slash-separated path of the leaf (array elements with an `id`
+    /// field are keyed by it).
+    pub path: String,
+    /// Value in the baseline document.
+    pub before: f64,
+    /// Value in the candidate document.
+    pub after: f64,
+}
+
+execmig_obs::impl_to_json!(MetricDelta {
+    path,
+    before,
+    after
+});
+
+impl MetricDelta {
+    /// Relative change `(after − before) / |before|`; ±∞ when the
+    /// baseline is zero and the candidate is not.
+    pub fn rel(&self) -> f64 {
+        if self.before == self.after {
+            0.0
+        } else if self.before == 0.0 {
+            f64::INFINITY.copysign(self.after)
+        } else {
+            (self.after - self.before) / self.before.abs()
+        }
+    }
+
+    /// Is this delta a regression under `config`?
+    pub fn regressed(&self, config: &DiffConfig) -> bool {
+        let rel = self.rel();
+        if config.drift {
+            rel.abs() > config.threshold
+        } else {
+            rel > config.threshold
+        }
+    }
+}
+
+/// The full comparison of two documents.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Leaves present in both documents, in path order.
+    pub deltas: Vec<MetricDelta>,
+    /// Leaf paths only in the candidate.
+    pub added: Vec<String>,
+    /// Leaf paths only in the baseline.
+    pub removed: Vec<String>,
+}
+
+impl DiffReport {
+    /// Compares `baseline` against `candidate`.
+    pub fn compare(baseline: &Json, candidate: &Json) -> DiffReport {
+        let a = flatten(baseline);
+        let b = flatten(candidate);
+        let mut report = DiffReport::default();
+        for (path, &before) in &a {
+            match b.get(path) {
+                Some(&after) => report.deltas.push(MetricDelta {
+                    path: path.clone(),
+                    before,
+                    after,
+                }),
+                None => report.removed.push(path.clone()),
+            }
+        }
+        for path in b.keys() {
+            if !a.contains_key(path) {
+                report.added.push(path.clone());
+            }
+        }
+        report
+    }
+
+    /// Deltas that changed at all.
+    pub fn changed(&self) -> impl Iterator<Item = &MetricDelta> {
+        self.deltas.iter().filter(|d| d.before != d.after)
+    }
+
+    /// Deltas regressed under `config`.
+    pub fn regressions(&self, config: &DiffConfig) -> Vec<&MetricDelta> {
+        self.deltas.iter().filter(|d| d.regressed(config)).collect()
+    }
+
+    /// True when the documents carry identical metric sets and values.
+    pub fn is_identical(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.changed().next().is_none()
+    }
+
+    /// The report as JSON (changed deltas only, plus shape changes).
+    pub fn to_json_summary(&self, config: &DiffConfig) -> Json {
+        let changed: Vec<Json> = self
+            .changed()
+            .map(|d| {
+                d.to_json()
+                    .field("rel", d.rel())
+                    .field("regressed", d.regressed(config))
+            })
+            .collect();
+        Json::object()
+            .field("compared", self.deltas.len() as u64)
+            .field("changed", Json::Arr(changed))
+            .field("added", &self.added)
+            .field("removed", &self.removed)
+            .field("regressions", self.regressions(config).len() as u64)
+    }
+}
+
+/// Flattens `json` to its numeric leaves. Objects append `/key`;
+/// arrays whose elements carry a string `id` field key by
+/// `/<id>`, other arrays by `/<index>`; booleans count as 0/1;
+/// strings and nulls are dropped. Volatile manifest fields are
+/// skipped at any depth.
+pub fn flatten(json: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(json, String::new(), &mut out);
+    out
+}
+
+fn walk(json: &Json, path: String, out: &mut BTreeMap<String, f64>) {
+    match json {
+        Json::Null | Json::Str(_) => {}
+        Json::Bool(b) => {
+            out.insert(path, u64::from(*b) as f64);
+        }
+        Json::UInt(v) => {
+            out.insert(path, *v as f64);
+        }
+        Json::Int(v) => {
+            out.insert(path, *v as f64);
+        }
+        Json::Num(v) => {
+            out.insert(path, *v);
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let key = match item.get("id") {
+                    Some(Json::Str(id)) => id.clone(),
+                    _ => i.to_string(),
+                };
+                walk(item, format!("{path}/{key}"), out);
+            }
+        }
+        Json::Obj(fields) => {
+            for (key, value) in fields {
+                if VOLATILE.contains(&key.as_str()) {
+                    continue;
+                }
+                walk(value, format!("{path}/{key}"), out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use execmig_obs::json;
+
+    fn bench(id: &str, median: f64) -> Json {
+        Json::object()
+            .field("id", id)
+            .field("median_ns", median)
+            .field("samples", 20u64)
+    }
+
+    #[test]
+    fn identical_documents_have_zero_deltas() {
+        let doc = Json::Arr(vec![bench("a/b", 100.0), bench("c/d", 5.5)]);
+        let r = DiffReport::compare(&doc, &doc);
+        assert!(r.is_identical());
+        assert_eq!(r.deltas.len(), 4);
+        assert!(r.regressions(&DiffConfig::default()).is_empty());
+        assert!(r.changed().next().is_none());
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_regresses() {
+        let a = Json::Arr(vec![bench("k", 100.0)]);
+        let b = Json::Arr(vec![bench("k", 115.0)]);
+        let r = DiffReport::compare(&a, &b);
+        let cfg = DiffConfig::default();
+        let reg = r.regressions(&cfg);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].path, "/k/median_ns");
+        assert!((reg[0].rel() - 0.15).abs() < 1e-12);
+        // A 15 % *speed-up* is not a regression (but is drift).
+        let r = DiffReport::compare(&b, &a);
+        assert!(r.regressions(&cfg).is_empty());
+        let drift = DiffConfig { drift: true, ..cfg };
+        assert_eq!(r.regressions(&drift).len(), 1);
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let a = Json::Arr(vec![bench("k", 100.0)]);
+        let b = Json::Arr(vec![bench("k", 109.0)]);
+        let r = DiffReport::compare(&a, &b);
+        assert!(r.regressions(&DiffConfig::default()).is_empty());
+        assert_eq!(r.changed().count(), 1);
+    }
+
+    #[test]
+    fn arrays_key_by_id_not_position() {
+        // Same benchmarks, reordered: must pair up by id.
+        let a = Json::Arr(vec![bench("x", 10.0), bench("y", 20.0)]);
+        let b = Json::Arr(vec![bench("y", 20.0), bench("x", 10.0)]);
+        let r = DiffReport::compare(&a, &b);
+        assert!(r.is_identical());
+    }
+
+    #[test]
+    fn shape_changes_are_reported() {
+        let a = Json::Arr(vec![bench("x", 10.0), bench("gone", 1.0)]);
+        let b = Json::Arr(vec![bench("x", 10.0), bench("new", 2.0)]);
+        let r = DiffReport::compare(&a, &b);
+        assert!(!r.is_identical());
+        assert!(r.removed.iter().all(|p| p.starts_with("/gone")));
+        assert!(r.added.iter().all(|p| p.starts_with("/new")));
+    }
+
+    #[test]
+    fn volatile_manifest_fields_are_ignored() {
+        let mk = |wall: f64, ms: u64, l2: u64| {
+            Json::object()
+                .field("binary", "fig3")
+                .field("wall_seconds", wall)
+                .field("finished_unix_ms", ms)
+                .field("stats", Json::object().field("l2_misses", l2))
+        };
+        let r = DiffReport::compare(&mk(1.0, 111, 500), &mk(9.0, 999, 500));
+        assert!(r.is_identical(), "volatile fields must not count");
+        let r = DiffReport::compare(&mk(1.0, 111, 500), &mk(1.0, 111, 700));
+        assert_eq!(r.regressions(&DiffConfig::default()).len(), 1);
+    }
+
+    #[test]
+    fn zero_baseline_increase_is_infinite_regression() {
+        let a = Json::object().field("misses", 0u64);
+        let b = Json::object().field("misses", 3u64);
+        let r = DiffReport::compare(&a, &b);
+        assert_eq!(r.regressions(&DiffConfig::default()).len(), 1);
+        assert!(r.deltas[0].rel().is_infinite());
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let a = Json::Arr(vec![bench("k", 100.0)]);
+        let b = Json::Arr(vec![bench("k", 150.0)]);
+        let cfg = DiffConfig::default();
+        let summary = DiffReport::compare(&a, &b).to_json_summary(&cfg);
+        let text = summary.pretty();
+        assert_eq!(json::parse(&text), Ok(summary.clone()));
+        assert_eq!(summary.get("regressions"), Some(&Json::UInt(1)));
+    }
+}

@@ -32,6 +32,7 @@
 //! reported effect is already stable.
 
 pub mod ablations;
+pub mod diff;
 pub mod ext_cores;
 pub mod ext_pointer;
 pub mod ext_prefetch;

@@ -2,7 +2,9 @@
 
 use execmig_cache::{Cache, FillIfAbsent};
 use execmig_core::MigrationController;
-use execmig_obs::{EventKind, Histogram, Registry, Tracer};
+use execmig_obs::{
+    EventKind, Histogram, ProfileConfig, ProfileCumulative, Profiler, Registry, Tracer,
+};
 use execmig_trace::{AccessKind, LineAddr, LineSize, Workload};
 
 use crate::bus::UpdateBus;
@@ -13,6 +15,9 @@ use crate::stats::MachineStats;
 /// Upper bound on the core count (see [`MachineConfig::validate`]),
 /// sizing the per-core occupancy counters.
 pub const MAX_CORES: usize = 8;
+
+// The profiler's residency array must hold every core's counter.
+const _: () = assert!(MAX_CORES == execmig_obs::profile::PROFILE_MAX_CORES);
 
 /// The multi-core machine in migration mode.
 ///
@@ -44,6 +49,9 @@ pub struct Machine {
     last_migration_at: u64,
     /// Event tracer (zero-sized no-op without the `trace` feature).
     tracer: Tracer,
+    /// Interval profiler (zero-sized no-op without the `trace`
+    /// feature).
+    profiler: Profiler,
 }
 
 impl Machine {
@@ -80,6 +88,7 @@ impl Machine {
             inter_arrival: Histogram::new(),
             last_migration_at: 0,
             tracer: Tracer::with_capacity(execmig_obs::tracer::DEFAULT_CAPACITY),
+            profiler: Profiler::with_config(ProfileConfig::default()),
         }
     }
 
@@ -125,6 +134,18 @@ impl Machine {
     /// zero-sized no-op whose `events()` is always empty.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The interval profiler. Without the `trace` feature this is a
+    /// zero-sized no-op that records nothing.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Replaces the profiler with one using `config` (fresh, empty).
+    /// Without the `trace` feature this is a no-op.
+    pub fn set_profile_config(&mut self, config: ProfileConfig) {
+        self.profiler = Profiler::with_config(config);
     }
 
     /// Instructions executed on each core. Only the first
@@ -270,6 +291,15 @@ impl Machine {
         }
         self.stats.bus = self.bus.stats();
 
+        // Interval profiling. `Profiler::ACTIVE` is a compile-time
+        // constant: without the `trace` feature the whole branch —
+        // including the cumulative snapshot — is dead code the
+        // optimiser removes, leaving the hot path unchanged.
+        if Profiler::ACTIVE && self.profiler.sample_due(instructions_now) {
+            let snapshot = self.profile_cumulative();
+            self.profiler.record_sample(&snapshot);
+        }
+
         #[cfg(debug_assertions)]
         {
             invariants::check_occupancy(
@@ -279,6 +309,44 @@ impl Machine {
             if self.stats.accesses.is_multiple_of(invariants::SCAN_PERIOD) {
                 self.check_invariants();
             }
+        }
+    }
+
+    /// The machine's counters as one cumulative profiling snapshot
+    /// (the profiler differences consecutive snapshots into
+    /// [`execmig_obs::ProfileRecord`] intervals).
+    pub fn profile_cumulative(&self) -> ProfileCumulative {
+        let s = &self.stats;
+        let (flips, aff_hits, aff_misses, f_value, a_r, subset) = match &self.controller {
+            Some(mc) => {
+                let t = mc.table_stats();
+                (
+                    mc.splitter_stats().transitions,
+                    t.hits,
+                    t.misses,
+                    mc.filter_value(),
+                    mc.ar(),
+                    mc.current_subset() as u8,
+                )
+            }
+            None => (0, 0, 0, 0, 0, self.active as u8),
+        };
+        ProfileCumulative {
+            instructions: s.instructions,
+            il1_misses: s.il1_misses,
+            dl1_misses: s.dl1_misses,
+            l2_misses: s.l2_misses,
+            l3_misses: s.l3_misses,
+            migrations: s.migrations,
+            flips,
+            affinity_hits: aff_hits,
+            affinity_misses: aff_misses,
+            bus_bytes: s.bus.update_bus_bytes(),
+            residency: self.core_instructions,
+            f_value,
+            a_r,
+            active_core: self.active as u8,
+            subset,
         }
     }
 
@@ -719,6 +787,40 @@ mod tests {
         } else {
             assert!(m.tracer().events().is_empty());
             assert_eq!(m.tracer().emitted(), 0);
+        }
+    }
+
+    #[test]
+    fn profiler_matches_feature_mode() {
+        let mut m = Machine::new(MachineConfig::four_core_migration());
+        m.set_profile_config(ProfileConfig {
+            period: 64 << 10,
+            capacity: 1 << 10,
+        });
+        let mut w = suite::by_name("art").unwrap();
+        m.run(&mut *w, 2_000_000);
+        let snap = m.profile_cumulative();
+        assert_eq!(snap.instructions, m.stats().instructions);
+        assert_eq!(snap.l2_misses, m.stats().l2_misses);
+        assert_eq!(snap.residency.iter().sum::<u64>(), snap.instructions);
+        if Profiler::ACTIVE {
+            let recs = m.profiler().records();
+            assert!(recs.len() >= 2_000_000 / (64 << 10) - 1, "{}", recs.len());
+            // Intervals tile the run from instruction 0.
+            assert_eq!(recs[0].start, 0);
+            for pair in recs.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+            // Interval counters sum to (at most) the cumulative totals;
+            // the tail past the last boundary is not yet recorded.
+            let l2: u64 = recs.iter().map(|r| r.l2_misses).sum();
+            assert!(l2 <= m.stats().l2_misses);
+            let migrations: u64 = recs.iter().map(|r| r.migrations).sum();
+            assert!(migrations <= m.stats().migrations);
+            assert!(migrations > 0, "art must migrate within profiled span");
+        } else {
+            assert!(m.profiler().records().is_empty());
+            assert_eq!(std::mem::size_of::<Profiler>(), 0);
         }
     }
 

@@ -157,6 +157,236 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A JSON parse failure: what went wrong and the byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where parsing failed.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parses a JSON document into a [`Json`] value.
+///
+/// The inverse of [`Json::compact`]/[`Json::pretty`], so artefacts the
+/// workspace writes (benchmark files, run manifests, exported metrics)
+/// can be read back without external crates. Integral numbers without
+/// exponent become [`Json::UInt`]/[`Json::Int`]; everything else
+/// numeric becomes [`Json::Num`]. Trailing content after the document
+/// is an error.
+pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        at: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(p.err("trailing content after JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            message: message.to_string(),
+            offset: self.at,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.at;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.at += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.at])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            self.at += 4;
+                            // Surrogate pairs are not produced by this
+                            // repo's writer; map lone surrogates to the
+                            // replacement character.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.at += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.at += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|_| self.err("invalid number"))?;
+        if !fractional {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonParseError {
+                message: format!("invalid number {text:?}"),
+                offset: start,
+            })
+    }
+}
+
 /// Conversion into a [`Json`] value. Implemented for primitives and the
 /// usual containers; derive it for structs with [`impl_to_json!`].
 pub trait ToJson {
@@ -333,6 +563,62 @@ mod tests {
         );
         assert_eq!(Json::object().pretty(), "{}");
         assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let j = Json::object()
+            .field("name", "art")
+            .field("count", 42u64)
+            .field("delta", -7i64)
+            .field("rate", 0.25f64)
+            .field("flags", vec![true, false])
+            .field("nested", Json::object().field("x", Json::Null));
+        assert_eq!(parse(&j.compact()), Ok(j.clone()));
+        assert_eq!(parse(&j.pretty()), Ok(j));
+    }
+
+    #[test]
+    fn parse_numbers_pick_natural_variants() {
+        assert_eq!(parse("42"), Ok(Json::UInt(42)));
+        assert_eq!(parse("-7"), Ok(Json::Int(-7)));
+        assert_eq!(parse("2.0"), Ok(Json::Num(2.0)));
+        assert_eq!(parse("1e3"), Ok(Json::Num(1000.0)));
+        assert_eq!(parse("-1.5e-2"), Ok(Json::Num(-0.015)));
+        assert_eq!(
+            parse("18446744073709551615"),
+            Ok(Json::UInt(u64::MAX)),
+            "u64::MAX survives"
+        );
+    }
+
+    #[test]
+    fn parse_strings_unescape() {
+        assert_eq!(parse(r#""a\"b\n\t\\""#), Ok(Json::Str("a\"b\n\t\\".into())));
+        assert_eq!(parse(r#""A""#), Ok(Json::Str("A".into())));
+        assert_eq!(parse("\"caf\u{e9}\""), Ok(Json::Str("café".into())));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,]", "{\"a\":}", "{'a':1}", "1 2", "truth", "nul",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        let err = parse("[1, @]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_empties() {
+        assert_eq!(parse(" \n{} "), Ok(Json::Obj(vec![])));
+        assert_eq!(parse("[]"), Ok(Json::Arr(vec![])));
+        assert_eq!(
+            parse("[ 1 , 2 ]"),
+            Ok(Json::Arr(vec![Json::UInt(1), Json::UInt(2)]))
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Observability layer for the execution-migration workspace.
 //!
-//! Five pieces, all dependency-free:
+//! Seven pieces, all dependency-free:
 //!
 //! - [`tracer`]: a feature-gated event tracer. With the `trace` feature
 //!   on, [`Tracer`] records typed events ([`EventKind`]) with monotonic
@@ -12,25 +12,35 @@
 //! - [`export`]: JSON, CSV, and Prometheus text exposition.
 //! - [`manifest`]: a [`RunManifest`] JSON artefact per experiment run.
 //! - [`span`]: wall-clock [`SpanSet`] timers for parallel runners.
+//! - [`profile`]: a feature-gated interval [`Profiler`] attributing
+//!   misses/migrations/`F` dynamics to fixed instruction windows
+//!   ([`ProfileRecord`]), with pair-merge decimation so long runs stay
+//!   O(capacity). Same zero-cost-when-off discipline as [`Tracer`].
+//! - [`chrome`]: Chrome Trace Event Format export of profiles and the
+//!   [`EventRing`], loadable in `chrome://tracing`/Perfetto.
 //!
 //! Serialisation rides on the in-tree [`Json`]/[`ToJson`] model (the
 //! workspace builds offline, with no external crates); structs derive
 //! `ToJson` via [`impl_to_json!`].
 
+pub mod chrome;
 pub mod event;
 pub mod export;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod profile;
 pub mod ring;
 pub mod span;
 pub mod tracer;
 
+pub use chrome::ChromeTraceBuilder;
 pub use event::{EventKind, TraceEvent};
 pub use export::{to_csv, to_prometheus};
-pub use json::{Json, ToJson};
+pub use json::{Json, JsonParseError, ToJson};
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, MetricValue, Registry};
+pub use profile::{ProfileConfig, ProfileCumulative, ProfileRecord, Profiler};
 pub use ring::EventRing;
 pub use span::{Span, SpanSet, Stopwatch};
 pub use tracer::Tracer;

@@ -114,10 +114,15 @@ impl Histogram {
     /// Upper bound (inclusive) of the bucket containing the
     /// `q`-quantile (`0.0..=1.0`); 0 when empty. Log-2 bucketing makes
     /// this exact to within a factor of two — plenty for dwell/distance
-    /// distributions.
+    /// distributions. The extremes are exact: `q ≤ 0` returns
+    /// [`min`](Self::min) (not the first occupied bucket's upper
+    /// bound), and answers never exceed [`max`](Self::max).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
         }
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
@@ -356,6 +361,75 @@ mod tests {
         assert!(h.quantile(0.99) >= 65_536, "p99 in the tail bucket");
         assert_eq!(h.quantile(1.0), h.max().min(Histogram::bucket_upper(17)));
         assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn p0_is_the_exact_minimum() {
+        let mut h = Histogram::new();
+        // min is 9, inside the [8,16) bucket whose upper bound is 15:
+        // p0 must report 9, not 15.
+        for v in [9, 12, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 9);
+        assert_eq!(h.quantile(-1.0), 9, "q clamps from below");
+        assert!(h.quantile(f64::EPSILON) >= h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty: every quantile is 0.
+        let empty = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.quantile(q), 0, "empty at q={q}");
+        }
+        // Single bucket: all quantiles collapse to it, exact at the
+        // extremes.
+        let mut single = Histogram::new();
+        for _ in 0..10 {
+            single.observe(5);
+        }
+        assert_eq!(single.quantile(0.0), 5);
+        assert_eq!(single.quantile(0.5), 5, "bucket upper bound caps at max");
+        assert_eq!(single.quantile(1.0), 5);
+        // Saturated max bucket: u64::MAX lands in bucket 64 and must
+        // not overflow the upper-bound computation.
+        let mut sat = Histogram::new();
+        sat.observe(u64::MAX);
+        sat.observe(u64::MAX - 1);
+        assert_eq!(sat.quantile(0.0), u64::MAX - 1);
+        assert_eq!(sat.quantile(1.0), u64::MAX);
+        assert_eq!(sat.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_and_delta_edge_cases() {
+        // Merging an empty histogram changes nothing, including the
+        // min/max envelope.
+        let mut a = Histogram::new();
+        a.observe(42);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        // Merging *into* an empty histogram adopts the other envelope.
+        let mut fresh = Histogram::new();
+        fresh.merge(&before);
+        assert_eq!(fresh.min(), 42);
+        assert_eq!(fresh.max(), 42);
+        // Delta against itself is empty with a reset envelope.
+        let d = a.delta_since(&a.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.min(), 0);
+        assert_eq!(d.max(), 0);
+        assert_eq!(d.quantile(0.0), 0);
+        // Saturated-sum histograms subtract without underflow.
+        let mut big = Histogram::new();
+        big.observe(u64::MAX);
+        big.observe(u64::MAX);
+        assert_eq!(big.sum(), u64::MAX, "sum saturates");
+        let d = big.delta_since(&before);
+        assert_eq!(d.count(), 1, "counts still subtract");
     }
 
     #[test]
