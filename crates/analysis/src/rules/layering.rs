@@ -2,8 +2,10 @@
 //!
 //! The workspace layers as `trace → cache → core → machine →
 //! experiments`, with `obs` a side layer any crate may use (its
-//! *trace* feature is a separate concern, rule E003) and the root
-//! facade / bench harness on top. `analysis` sits outside the DAG and
+//! *trace* feature is a separate concern, rule E003), `check` — the
+//! differential reference model — a leaf beside `experiments` (it may
+//! see everything up to `machine`, and `experiments` may drive it),
+//! and the root facade / bench harness on top. `analysis` sits outside the DAG and
 //! depends on nothing — it lints the policy, so it must not share
 //! code with what it lints. Third-party dependencies are banned
 //! outright: the reproduction is dependency-free by policy.
@@ -31,12 +33,23 @@ const LAYERS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "execmig-check",
+        &[
+            "execmig-trace",
+            "execmig-cache",
+            "execmig-core",
+            "execmig-machine",
+            "execmig-obs",
+        ],
+    ),
+    (
         "execmig-experiments",
         &[
             "execmig-trace",
             "execmig-cache",
             "execmig-core",
             "execmig-machine",
+            "execmig-check",
             "execmig-obs",
         ],
     ),
@@ -47,6 +60,7 @@ const LAYERS: &[(&str, &[&str])] = &[
             "execmig-cache",
             "execmig-core",
             "execmig-machine",
+            "execmig-check",
             "execmig-experiments",
             "execmig-obs",
         ],
@@ -58,6 +72,7 @@ const LAYERS: &[(&str, &[&str])] = &[
             "execmig-cache",
             "execmig-core",
             "execmig-machine",
+            "execmig-check",
             "execmig-experiments",
             "execmig-obs",
         ],

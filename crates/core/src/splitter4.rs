@@ -235,6 +235,12 @@ impl<T: AffinityTable> Splitter4<T> {
         self.f_x.value()
     }
 
+    /// The second-level filter value `F_{Y[side]}` for the given
+    /// first-level side (differential checkers compare both leaves).
+    pub fn y_filter_value(&self, side: Side) -> i64 {
+        self.f_y[side.index()].value()
+    }
+
     /// The first-level mechanism (`X`).
     pub fn mechanism(&self) -> &Mechanism {
         &self.x
@@ -266,6 +272,51 @@ mod tests {
             Quadrant::from_sides(Side::Plus, Side::Minus).to_string(),
             "(+-)"
         );
+    }
+
+    #[test]
+    fn quadrant_packing_is_x_high_bit_y_low_bit() {
+        // §3.6 cross-check: the packed index is
+        // `sign(F_X) << 1 | sign(F_Y)` with Plus = 0, Minus = 1.
+        assert_eq!(Quadrant::from_sides(Side::Plus, Side::Plus).index(), 0);
+        assert_eq!(Quadrant::from_sides(Side::Plus, Side::Minus).index(), 1);
+        assert_eq!(Quadrant::from_sides(Side::Minus, Side::Plus).index(), 2);
+        assert_eq!(Quadrant::from_sides(Side::Minus, Side::Minus).index(), 3);
+        for i in 0..4usize {
+            let q = Quadrant::from_index(i);
+            assert_eq!((q.x().index() << 1) | q.y().index(), i);
+        }
+    }
+
+    #[test]
+    fn odd_h_updates_x_even_h_updates_y_of_fx_sign() {
+        // §3.6: "a sampled line with odd H(e) is processed by X, one
+        // with even H(e) by Y[sign(F_X)]". With the full sampler,
+        // H(e) = e mod 31. A second reference to a line yields
+        // A_e = −∆ ≠ 0, which moves exactly one filter — revealing the
+        // routing.
+        //
+        // e = 2 (even H) while F_X ≥ 0 must update F_Y[+] only.
+        let mut s = Splitter4::new(Splitter4Config::default());
+        s.on_reference(2);
+        s.on_reference(2);
+        assert_eq!(s.filter_value(), 0, "F_X must not move on even H");
+        assert_ne!(s.y_filter_value(Side::Plus), 0, "F_Y[+] must move");
+        assert_eq!(s.y_filter_value(Side::Minus), 0, "F_Y[−] must not move");
+
+        // e = 1 (odd H) must update F_X only.
+        let mut s = Splitter4::new(Splitter4Config::default());
+        s.on_reference(1);
+        s.on_reference(1);
+        assert!(s.filter_value() < 0, "F_X must move on odd H");
+        assert_eq!(s.y_filter_value(Side::Plus), 0);
+        assert_eq!(s.y_filter_value(Side::Minus), 0);
+
+        // With F_X < 0, even H routes to the other leaf: F_Y[−].
+        s.on_reference(2);
+        s.on_reference(2);
+        assert_eq!(s.y_filter_value(Side::Plus), 0, "F_Y[+] must not move");
+        assert_ne!(s.y_filter_value(Side::Minus), 0, "F_Y[−] must move");
     }
 
     #[test]

@@ -6,6 +6,24 @@
 //! relaxes it: "we implement the R-window as a FIFO, i.e., a memory array
 //! and a circular pointer on that array". Each entry holds a line address
 //! and its recorded `I_e`.
+//!
+//! # Duplicate elements (audited)
+//!
+//! Under the FIFO relaxation a re-referenced element occupies one slot
+//! *per reference* — distinctness is exactly what the relaxation gives
+//! up. This does **not** double-subtract `I_e` from `A_R`: each slot
+//! carries the `I_e` recorded at its own entry and is handed back by
+//! [`push`](RWindow::push) exactly once, at its own exit, so the
+//! mechanism subtracts each recorded value once (see the conservation
+//! test below). Duplicate slots exit oldest-first, so the *last*
+//! write-back for an element is always from its freshest slot, and the
+//! affinity table is never left holding a stale `O_e`. The differential
+//! oracle (`execmig-check`) runs the hardware mechanism against a
+//! from-scratch FIFO restatement and against the distinct-LRU
+//! [`IdealAffinity`](crate::IdealAffinity) of Definition 1: the former
+//! matches step-for-step; the latter differs only within the
+//! paper-sanctioned relaxation (both split a working set into the same
+//! balanced halves).
 
 /// FIFO R-window of `(element, I_e)` entries.
 ///
@@ -125,6 +143,44 @@ mod tests {
         w.push(9, 2);
         assert_eq!(w.push(9, 3), Some((9, 1)));
         assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_slots_exit_oldest_first_exactly_once() {
+        // A re-referenced element holds one slot per reference; each
+        // slot exits once, oldest first, with the I_e recorded at its
+        // own entry — the A_R maintenance never sees a slot twice.
+        let mut w = RWindow::new(3);
+        w.push(7, 10);
+        w.push(8, 20);
+        w.push(7, 11); // duplicate of 7 with a fresher I_e
+        assert_eq!(w.push(9, 30), Some((7, 10))); // stale slot first
+        assert_eq!(w.push(10, 40), Some((8, 20)));
+        assert_eq!(w.push(11, 50), Some((7, 11))); // fresh slot later
+    }
+
+    #[test]
+    fn eviction_conserves_every_pushed_entry() {
+        // Conservation law behind the no-double-subtraction audit:
+        // over any stream (duplicates included), the multiset of
+        // evicted entries plus the window residue equals the multiset
+        // of pushed entries.
+        let mut w = RWindow::new(5);
+        let mut pushed = Vec::new();
+        let mut evicted = Vec::new();
+        let mut x = 42u64;
+        for k in 0..1000i64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let e = (x >> 33) % 7; // tiny universe: duplicates abound
+            pushed.push((e, k));
+            if let Some(old) = w.push(e, k) {
+                evicted.push(old);
+            }
+        }
+        evicted.extend(w.iter());
+        evicted.sort_unstable();
+        pushed.sort_unstable();
+        assert_eq!(evicted, pushed);
     }
 
     #[test]

@@ -49,7 +49,7 @@ impl Default for UpdateBusConfig {
 }
 
 /// Accumulated update-bus traffic.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct UpdateBusStats {
     /// Bytes broadcast for register updates.
     pub reg_bytes: u64,

@@ -171,6 +171,14 @@ impl RegUpdateCache {
         self.stats
     }
 
+    /// Entries currently pending (not yet broadcast or spilled). Every
+    /// write is accounted for exactly once:
+    /// `writes == coalesced + evict_broadcasts + spilled_entries +
+    /// pending_len()`.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
     /// The configuration.
     pub fn config(&self) -> &RegCacheConfig {
         &self.config
@@ -227,13 +235,43 @@ mod tests {
             "saved only {}",
             stats.saved_fraction()
         );
-        assert_eq!(
-            stats.writes,
-            stats.coalesced
-                + stats.evict_broadcasts
-                + stats.spilled_entries
-                + (stats.writes - stats.coalesced - stats.evict_broadcasts - stats.spilled_entries)
-        );
+    }
+
+    #[test]
+    fn every_write_is_accounted_exactly_once() {
+        // Conservation: a write either coalesces, is broadcast when its
+        // entry is evicted, is spilled by a migration, or is still
+        // pending. The previous form of this check subtracted the
+        // right-hand side from itself and could never fail.
+        for entries in [0usize, 1, 4, 8, 32] {
+            let mut c = RegUpdateCache::new(
+                RegCacheConfig {
+                    entries,
+                    ..RegCacheConfig::default()
+                },
+                7,
+            );
+            for i in 0..50_000u64 {
+                c.on_reg_write();
+                if i % 977 == 0 {
+                    c.on_migration();
+                }
+            }
+            let s = c.stats();
+            assert_eq!(
+                s.writes,
+                s.coalesced + s.evict_broadcasts + s.spilled_entries + c.pending_len() as u64,
+                "accounting leak with {entries} entries"
+            );
+            // And the traffic summary matches the spill/evict counters.
+            assert_eq!(s.broadcasts(), s.evict_broadcasts + s.spilled_entries);
+            let expected_saved = if s.writes == 0 {
+                0.0
+            } else {
+                1.0 - s.broadcasts() as f64 / s.writes as f64
+            };
+            assert!((s.saved_fraction() - expected_saved).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! - [`core`] — the paper's contribution: the affinity algorithm,
 //!   transition filter, working-set sampling, and the migration controller
 //! - [`machine`] — the 4-core machine model with migration-mode coherence
+//! - [`check`] — differential checking: a naive reference machine, a
+//!   lockstep differ, and a trace-shrinking fuzzer
 //! - [`experiments`] — runners that regenerate every table and figure
 //! - [`obs`] — observability: feature-gated event tracing, metrics
 //!   (counters/gauges/log-2 histograms), JSON/CSV/Prometheus exporters,
@@ -40,6 +42,7 @@
 //! ```
 
 pub use execmig_cache as cache;
+pub use execmig_check as check;
 pub use execmig_core as core;
 pub use execmig_experiments as experiments;
 pub use execmig_machine as machine;
