@@ -93,6 +93,12 @@ pub const CATALOG: &[Rule] = &[
         paper: "repo policy (interval profiling must cost nothing when compiled out)",
     },
     Rule {
+        id: "E011",
+        kind: RuleKind::Static,
+        title: "telemetry hub beats (.publish()) outside obs sit behind `if Hub::ACTIVE`, #[cfg(feature = …)], or tests",
+        paper: "repo policy (live telemetry must cost nothing when compiled out)",
+    },
+    Rule {
         id: "I101",
         kind: RuleKind::Runtime,
         title: "affinity values stay within the saturating range of the configured bit width",

@@ -464,14 +464,15 @@ fn attr_regions(toks: &[Token], marker: &str) -> Vec<Region> {
 }
 
 /// Byte regions of the then-blocks of `if … Tracer::ACTIVE … { … }`
-/// (or `Profiler::ACTIVE` — the interval profiler follows the same
-/// compile-time-gate discipline). The else-branch (tracing compiled
-/// out) is deliberately NOT exempt.
+/// (or `Profiler::ACTIVE` / `Hub::ACTIVE` — the interval profiler and
+/// the live-telemetry hub follow the same compile-time-gate
+/// discipline). The else-branch (tracing compiled out) is deliberately
+/// NOT exempt.
 pub fn tracer_active_regions(toks: &[Token]) -> Vec<Region> {
     let mut out = Vec::new();
     for k in 0..toks.len() {
         if !(toks[k].kind == TokKind::Ident
-            && (toks[k].text == "Tracer" || toks[k].text == "Profiler")
+            && (toks[k].text == "Tracer" || toks[k].text == "Profiler" || toks[k].text == "Hub")
             && matches!(toks.get(k + 1), Some(t) if is_punct(t, ':'))
             && matches!(toks.get(k + 2), Some(t) if is_punct(t, ':'))
             && matches!(toks.get(k + 3), Some(t) if t.kind == TokKind::Ident && t.text == "ACTIVE"))
@@ -634,6 +635,19 @@ mod tests {
         assert!(in_regions(src.find("records").expect("present"), &regions));
         assert!(!in_regions(
             src.find("sample_due").expect("present"),
+            &regions
+        ));
+    }
+
+    #[test]
+    fn hub_active_gates_like_tracer() {
+        let src = "fn f(w: &W) { if Hub::ACTIVE { w.publish(b); } w.publish(b); }";
+        let toks = lex(src);
+        let regions = tracer_active_regions(&toks);
+        assert_eq!(regions.len(), 1);
+        assert!(in_regions(src.find("publish").expect("present"), &regions));
+        assert!(!in_regions(
+            src.rfind("publish").expect("present"),
             &regions
         ));
     }

@@ -20,6 +20,13 @@
 //! behind `if Profiler::ACTIVE { … }`, a `#[cfg(feature = …)]` item, or
 //! a test. The cheap `sample_due` guard needs no gate — like
 //! `Tracer::emit`, it is the gate.
+//!
+//! So does the live-telemetry hub (E011): `.publish()` beats outside
+//! obs must sit behind `if Hub::ACTIVE { … }`, a `#[cfg(feature = …)]`
+//! item, or a test. The no-op `HubWorker::publish` is inlined to
+//! nothing without `trace`, but an ungated call still constructs its
+//! `Beat` argument — and signals intent the default build silently
+//! skips.
 
 use crate::diag::Diagnostic;
 use crate::lexer::{self, TokKind};
@@ -28,8 +35,9 @@ use crate::workspace::Workspace;
 const RING_METHODS: &[&str] = &["events", "dropped", "emitted"];
 const RING_TYPES: &[&str] = &["EventRing", "TraceEvent"];
 const PROFILER_METHODS: &[&str] = &["record_sample", "records"];
+const HUB_METHODS: &[&str] = &["publish"];
 
-/// Runs E003 (manifests), E006, and E010 (sources).
+/// Runs E003 (manifests), E006, E010, and E011 (sources).
 pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
     for krate in &ws.crates {
         if krate.name == "execmig-obs" {
@@ -88,6 +96,22 @@ pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
                         t.line,
                         format!(
                             "profile sampler access `{}` outside `if Profiler::ACTIVE`, \
+                             `#[cfg(feature = …)]`, or tests",
+                            t.text
+                        ),
+                    ));
+                }
+                let hub_banned = HUB_METHODS.contains(&t.text.as_str())
+                    && k > 0
+                    && lexer::is_punct(&file.toks[k - 1], '.')
+                    && matches!(file.toks.get(k + 1), Some(n) if lexer::is_punct(n, '('));
+                if hub_banned && !lexer::in_regions(t.pos, &exempt) {
+                    diags.push(Diagnostic::new(
+                        "E011",
+                        &file.rel,
+                        t.line,
+                        format!(
+                            "telemetry hub publish `{}` outside `if Hub::ACTIVE`, \
                              `#[cfg(feature = …)]`, or tests",
                             t.text
                         ),

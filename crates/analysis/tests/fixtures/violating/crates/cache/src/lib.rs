@@ -19,6 +19,10 @@ pub fn sample(p: &mut execmig_obs::Profiler, c: &execmig_obs::ProfileCumulative)
     p.records().len() // E010: ungated sampler read
 }
 
+pub fn beat(w: &execmig_obs::HubWorker, b: execmig_obs::Beat) {
+    w.publish(b); // E011: ungated hub publish
+}
+
 pub fn head(v: &[u64]) -> u64 {
     *v.first().unwrap() // E009: unwrap in library code
 }

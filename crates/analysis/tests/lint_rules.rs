@@ -36,6 +36,7 @@ fn golden_rule_counts() {
         ("E008", 1),
         ("E009", 2),
         ("E010", 2),
+        ("E011", 1),
     ]
     .into_iter()
     .collect();
@@ -131,6 +132,19 @@ fn gated_profiler_read_is_clean() {
 }
 
 #[test]
+fn gated_hub_publish_is_clean() {
+    let diags = fixture_diags();
+    let e011 = by_rule(&diags, "E011");
+    assert_eq!(e011.len(), 1);
+    assert_eq!(e011[0].path, "crates/cache/src/lib.rs");
+    assert!(e011[0].message.contains("publish"));
+    // machine.rs publishes inside `if Hub::ACTIVE { … }`.
+    assert!(!diags
+        .iter()
+        .any(|d| d.rule == "E011" && d.path == "crates/machine/src/machine.rs"));
+}
+
+#[test]
 fn unregistered_counter_is_named() {
     let diags = fixture_diags();
     let e007 = by_rule(&diags, "E007");
@@ -152,7 +166,7 @@ fn manual_to_json_impl_satisfies_e008() {
 fn json_report_is_stable() {
     let diags = fixture_diags();
     let json = diag::render_json(&diags);
-    assert!(json.starts_with("{\"count\":16,"));
+    assert!(json.starts_with("{\"count\":17,"));
     assert!(json.contains("\"rule\":\"E001\""));
     assert!(json.contains("\"rule\":\"E009\""));
 }

@@ -2,11 +2,13 @@
 //! HalfRandom(300), N = 4000, |R| = 100, at t = 20k/100k/1000k.
 //!
 //! Usage: `fig3 [--buckets N] [--csv] [--json] [--no-manifest]
-//!               [--manifest-dir DIR]`
+//!               [--manifest-dir DIR] [--serve-telemetry ADDR]`
 
 use execmig_experiments::fig3::{bucket_means, run, Fig3Config};
 use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64};
+use execmig_experiments::runner::parallel_map_observed;
+use execmig_experiments::telemetry::Telemetry;
 use execmig_obs::{Json, ToJson};
 
 fn main() {
@@ -14,17 +16,24 @@ fn main() {
     let buckets = arg_u64(&args, "--buckets", 40) as usize;
     let csv = arg_flag(&args, "--csv");
     let json = arg_flag(&args, "--json");
+    let telemetry = Telemetry::from_args(&args, 2);
     let mut em = ManifestEmitter::start("fig3", &args);
     let mut stream_stats = Vec::new();
 
-    for config in [Fig3Config::circular(), Fig3Config::half_random()] {
+    let configs = vec![Fig3Config::circular(), Fig3Config::half_random()];
+    let (results, _report) =
+        parallel_map_observed(configs.clone(), 2, telemetry.hub(), |config, _ctx| {
+            run(config)
+        });
+    telemetry.finish();
+
+    for (config, result) in configs.into_iter().zip(results) {
         let label = match config.stream {
             execmig_experiments::fig3::Fig3Stream::Circular => "Circular".to_string(),
             execmig_experiments::fig3::Fig3Stream::HalfRandom { m } => {
                 format!("HalfRandom({m})")
             }
         };
-        let result = run(config);
         if let Some(last) = result.snapshots.last() {
             stream_stats.push(
                 Json::object()

@@ -2,18 +2,21 @@
 //! per benchmark, with the transition frequency.
 //!
 //! Usage: `fig45 [--instr N] [--threads N] [--bench NAME] [--summary]
-//!                [--csv] [--json] [--no-manifest] [--manifest-dir DIR]`
+//!                [--csv] [--json] [--no-manifest] [--manifest-dir DIR]
+//!                [--serve-telemetry ADDR]`
 
 use execmig_experiments::fig45::{self, Fig45Config};
 use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
 use execmig_experiments::runner::default_threads;
+use execmig_experiments::telemetry::Telemetry;
 use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let instructions = arg_u64(&args, "--instr", 30_000_000);
     let threads = arg_u64(&args, "--threads", default_threads(18) as u64) as usize;
+    let telemetry = Telemetry::from_args(&args, threads);
     let config = Fig45Config::paper(instructions);
     let mut em = ManifestEmitter::start("fig45", &args);
     em.budget(instructions);
@@ -21,8 +24,9 @@ fn main() {
 
     let rows = match arg_value(&args, "--bench") {
         Some(name) => vec![fig45::run_benchmark(&name, &config)],
-        None => fig45::run_all(&config, threads),
+        None => fig45::run_all_observed(&config, threads, telemetry.hub()),
     };
+    telemetry.finish();
     em.stats(Json::object().field("rows", rows.len()));
     if arg_flag(&args, "--json") {
         println!("{}", rows.to_json().pretty());

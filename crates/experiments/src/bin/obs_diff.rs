@@ -2,12 +2,18 @@
 //! results, run manifests, exported profiles) metric by metric.
 //!
 //! Usage: `obs_diff BASELINE.json CANDIDATE.json [--threshold R]
+//!                  [--only P1,P2,…] [--metric NAME]
 //!                  [--drift] [--json] [--quiet]`
 //!
 //! Metrics are lower-is-better; a relative increase beyond the
 //! threshold (default 0.10) is a regression. `--drift` also flags
-//! decreases (for determinism checks). Exit codes: 0 within threshold,
-//! 1 regression (or any drift under `--drift`), 2 usage/IO error.
+//! decreases (for determinism checks). `--only` restricts the
+//! comparison to metric paths under the given slash prefixes
+//! (comma-separated, e.g. `cache/,table2/`); `--metric` to leaves
+//! with the given final segment (e.g. `median_ns`) — together they
+//! scope a CI hard gate to the kernels it should defend. Exit codes:
+//! 0 within threshold, 1 regression (or any drift under `--drift`),
+//! 2 usage/IO error.
 
 use execmig_experiments::diff::{DiffConfig, DiffReport};
 use execmig_experiments::report::{arg_flag, arg_value};
@@ -23,7 +29,9 @@ fn load(path: &str) -> Result<Json, String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let files: Vec<&String> = {
-        // Positional operands: non-flags not consumed by --threshold.
+        // Positional operands: non-flags not consumed by a
+        // value-taking flag.
+        const TAKES_VALUE: &[&str] = &["--threshold", "--only", "--metric"];
         let mut skip_next = false;
         args.iter()
             .filter(|a| {
@@ -31,7 +39,7 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--threshold" {
+                if TAKES_VALUE.contains(&a.as_str()) {
                     skip_next = true;
                     return false;
                 }
@@ -42,7 +50,8 @@ fn main() {
     let &[baseline, candidate] = files.as_slice() else {
         eprintln!(
             "usage: obs_diff BASELINE.json CANDIDATE.json \
-             [--threshold R] [--drift] [--json] [--quiet]"
+             [--threshold R] [--only P1,P2,…] [--metric NAME] \
+             [--drift] [--json] [--quiet]"
         );
         exit(2);
     };
@@ -57,6 +66,16 @@ fn main() {
             .unwrap_or(DiffConfig::default().threshold),
         drift: arg_flag(&args, "--drift"),
     };
+    let only: Vec<String> = arg_value(&args, "--only")
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    let metric = arg_value(&args, "--metric");
 
     let (a, b) = match (load(baseline), load(candidate)) {
         (Ok(a), Ok(b)) => (a, b),
@@ -65,7 +84,12 @@ fn main() {
             exit(2);
         }
     };
-    let report = DiffReport::compare(&a, &b);
+    let mut report = DiffReport::compare(&a, &b);
+    report.retain(&only, metric.as_deref());
+    if report.deltas.is_empty() && (!only.is_empty() || metric.is_some()) {
+        eprintln!("obs_diff: scope matched no shared metrics (check --only/--metric)");
+        exit(2);
+    }
     let regressions = report.regressions(&config);
 
     if arg_flag(&args, "--json") {

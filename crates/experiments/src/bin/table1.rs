@@ -2,18 +2,21 @@
 //! 16 KB fully-associative L1 miss counts.
 //!
 //! Usage: `table1 [--instr N] [--threads N] [--csv] [--json]
-//!                 [--no-manifest] [--manifest-dir DIR]`
+//!                 [--no-manifest] [--manifest-dir DIR]
+//!                 [--serve-telemetry ADDR]`
 
 use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64};
 use execmig_experiments::runner::default_threads;
 use execmig_experiments::table1;
+use execmig_experiments::telemetry::Telemetry;
 use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let instructions = arg_u64(&args, "--instr", 50_000_000);
     let threads = arg_u64(&args, "--threads", default_threads(18) as u64) as usize;
+    let telemetry = Telemetry::from_args(&args, threads);
     let mut em = ManifestEmitter::start("table1", &args);
     em.budget(instructions);
     em.config(
@@ -22,7 +25,8 @@ fn main() {
             .field("threads", threads),
     );
 
-    let rows = table1::run_all(instructions, threads);
+    let rows = table1::run_all_observed(instructions, threads, telemetry.hub());
+    telemetry.finish();
     em.stats(
         Json::object()
             .field("rows", rows.len())

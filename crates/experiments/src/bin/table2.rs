@@ -3,18 +3,21 @@
 //! migration frequency, all in instructions per event.
 //!
 //! Usage: `table2 [--instr N] [--threads N] [--bench NAME] [--csv]
-//!                 [--json] [--no-manifest] [--manifest-dir DIR]`
+//!                 [--json] [--no-manifest] [--manifest-dir DIR]
+//!                 [--serve-telemetry ADDR]`
 
 use execmig_experiments::manifest::ManifestEmitter;
 use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
 use execmig_experiments::runner::default_threads;
 use execmig_experiments::table2;
+use execmig_experiments::telemetry::Telemetry;
 use execmig_obs::{Json, ToJson};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let instructions = arg_u64(&args, "--instr", 100_000_000);
     let threads = arg_u64(&args, "--threads", default_threads(18) as u64) as usize;
+    let telemetry = Telemetry::from_args(&args, threads);
     let mut em = ManifestEmitter::start("table2", &args);
     em.budget(instructions);
     em.config(
@@ -26,8 +29,9 @@ fn main() {
 
     let rows = match arg_value(&args, "--bench") {
         Some(name) => vec![table2::run_benchmark(&name, instructions)],
-        None => table2::run_all(instructions, threads),
+        None => table2::run_all_observed(instructions, threads, telemetry.hub()),
     };
+    telemetry.finish();
     em.stats(
         Json::object()
             .field("rows", rows.len())

@@ -120,6 +120,24 @@ impl DiffReport {
         report
     }
 
+    /// Restricts the report to leaves under one of `only` (slash
+    /// path prefixes, leading `/` optional) whose final segment is
+    /// `metric` (when given). Shape changes (`added`/`removed`) are
+    /// filtered by the same predicate, so a gate scoped to
+    /// `cache/ … median_ns` ignores unrelated suites growing or
+    /// shrinking. Empty `only` means "everywhere".
+    pub fn retain(&mut self, only: &[String], metric: Option<&str>) {
+        let keep = |path: &str| -> bool {
+            let rel = path.strip_prefix('/').unwrap_or(path);
+            let prefix_ok = only.is_empty() || only.iter().any(|p| rel.starts_with(p.as_str()));
+            let metric_ok = metric.is_none_or(|m| rel.rsplit('/').next() == Some(m));
+            prefix_ok && metric_ok
+        };
+        self.deltas.retain(|d| keep(&d.path));
+        self.added.retain(|p| keep(p));
+        self.removed.retain(|p| keep(p));
+    }
+
     /// Deltas that changed at all.
     pub fn changed(&self) -> impl Iterator<Item = &MetricDelta> {
         self.deltas.iter().filter(|d| d.before != d.after)
@@ -289,6 +307,35 @@ mod tests {
         let r = DiffReport::compare(&a, &b);
         assert_eq!(r.regressions(&DiffConfig::default()).len(), 1);
         assert!(r.deltas[0].rel().is_infinite());
+    }
+
+    #[test]
+    fn retain_scopes_by_prefix_and_metric() {
+        let a = Json::Arr(vec![
+            bench("cache/lookup", 100.0),
+            bench("table1/apsi", 50.0),
+            bench("gone/x", 1.0),
+        ]);
+        let b = Json::Arr(vec![
+            bench("cache/lookup", 200.0),
+            bench("table1/apsi", 99.0),
+            bench("new/y", 2.0),
+        ]);
+        let mut r = DiffReport::compare(&a, &b);
+        r.retain(&["cache/".to_string()], Some("median_ns"));
+        assert_eq!(r.deltas.len(), 1);
+        assert_eq!(r.deltas[0].path, "/cache/lookup/median_ns");
+        assert!(r.added.is_empty(), "out-of-scope additions dropped");
+        assert!(r.removed.is_empty(), "out-of-scope removals dropped");
+        // Several prefixes OR together; no metric keeps all leaves.
+        let mut r = DiffReport::compare(&a, &b);
+        r.retain(&["cache/".to_string(), "table1/".to_string()], None);
+        assert_eq!(r.deltas.len(), 4, "median_ns + samples for two ids");
+        // Empty prefix list means everywhere.
+        let mut r = DiffReport::compare(&a, &b);
+        r.retain(&[], Some("samples"));
+        assert!(r.deltas.iter().all(|d| d.path.ends_with("/samples")));
+        assert_eq!(r.deltas.len(), 2);
     }
 
     #[test]

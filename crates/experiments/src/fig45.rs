@@ -148,7 +148,21 @@ pub fn run_workload(name: &str, w: &mut (dyn Workload + Send), config: &Fig45Con
 
 /// Runs the whole suite.
 pub fn run_all(config: &Fig45Config, threads: usize) -> Vec<Fig45Row> {
-    crate::runner::parallel_map(suite::names(), threads, |name| run_benchmark(name, config))
+    run_all_observed(config, threads, None)
+}
+
+/// Runs the whole suite with per-task live telemetry into `hub` (when
+/// given): the runner's claim/done beats show which benchmark each
+/// worker is on.
+pub fn run_all_observed(
+    config: &Fig45Config,
+    threads: usize,
+    hub: Option<&execmig_obs::Hub>,
+) -> Vec<Fig45Row> {
+    crate::runner::parallel_map_observed(suite::names(), threads, hub, |name, _ctx| {
+        run_benchmark(name, config)
+    })
+    .0
 }
 
 /// Renders the curves as a table: one row per benchmark and size.

@@ -1,9 +1,10 @@
-//! Thread-parallel experiment execution, with span-timer telemetry.
+//! Thread-parallel experiment execution, with span-timer telemetry and
+//! optional live-telemetry hub beats.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
-use execmig_obs::{Json, Span, SpanSet, ToJson};
+use execmig_obs::{Beat, Hub, HubWorker, Json, Span, SpanSet, ToJson, WorkerState};
 
 /// Wall-clock telemetry of one [`parallel_map_timed`] run: per-task
 /// spans (which thread ran what, when, for how long) and the derived
@@ -93,6 +94,50 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_observed(items, threads, None, |item, _| f(item))
+}
+
+/// What an observed task needs to publish consistent mid-task beats:
+/// the worker's hub handle plus the task coordinates the runner already
+/// announced in its claim beat.
+#[derive(Debug)]
+pub struct ObsCtx<'a> {
+    /// The claiming worker's producer handle.
+    pub worker: &'a HubWorker,
+    /// The task index being executed.
+    pub task: u64,
+    /// Tasks this worker had completed before this one.
+    pub tasks_done: u64,
+}
+
+/// Like [`parallel_map_timed`], additionally publishing live progress
+/// beats into a telemetry [`Hub`].
+///
+/// Each worker thread claims its hub slot once (`hub.worker(w)`) and
+/// publishes a `Running` beat on every task claim and completion, and a
+/// final `Done` beat when the queue drains — so `/progress` shows which
+/// task every worker is on while the sweep runs. The closure receives
+/// an [`ObsCtx`] (when telemetry is active) to publish finer-grained
+/// beats mid-task, e.g. via `Machine::run_observed`.
+///
+/// With `hub` as `None`, or without the `trace` feature
+/// (`Hub::ACTIVE` false), behaviour and results are exactly
+/// [`parallel_map_timed`]'s.
+///
+/// # Panics
+///
+/// As [`parallel_map_timed`]: `threads == 0` or a panicking task.
+pub fn parallel_map_observed<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    hub: Option<&Hub>,
+    f: F,
+) -> (Vec<R>, RunnerReport)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T, Option<ObsCtx<'_>>) -> R + Sync,
+{
     assert!(threads > 0, "need at least one thread");
     let n = items.len();
     let spans = SpanSet::new();
@@ -116,12 +161,21 @@ where
     let mut per_worker: Vec<(Vec<(usize, R)>, Timings)> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|w| {
                 let queue = &queue;
                 let spans = &spans;
                 let panicked = &panicked;
                 let f = &f;
                 scope.spawn(move || {
+                    // Claim this thread's hub slot (first claimant wins;
+                    // SPSC holds because the handle never leaves this
+                    // thread). None when telemetry is off or inactive.
+                    let hub_worker = if Hub::ACTIVE {
+                        hub.and_then(|h| h.worker(w))
+                    } else {
+                        None
+                    };
+                    let mut tasks_done = 0u64;
                     let mut results = Vec::new();
                     let mut timings = Vec::new();
                     loop {
@@ -131,12 +185,38 @@ where
                         let Some((i, item)) = queue.lock().expect("task queue").next() else {
                             break;
                         };
+                        if Hub::ACTIVE {
+                            if let Some(hw) = &hub_worker {
+                                hw.publish(Beat {
+                                    state: WorkerState::Running,
+                                    task: i as u64,
+                                    tasks_done,
+                                    ..Beat::default()
+                                });
+                            }
+                        }
                         let start_us = spans.wall_micros();
-                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        let ctx = hub_worker.as_ref().map(|worker| ObsCtx {
+                            worker,
+                            task: i as u64,
+                            tasks_done,
+                        });
+                        match catch_unwind(AssertUnwindSafe(|| f(item, ctx))) {
                             Ok(result) => {
                                 let duration_us = spans.wall_micros().saturating_sub(start_us);
                                 results.push((i, result));
                                 timings.push((i, start_us, duration_us));
+                                tasks_done += 1;
+                                if Hub::ACTIVE {
+                                    if let Some(hw) = &hub_worker {
+                                        hw.publish(Beat {
+                                            state: WorkerState::Running,
+                                            task: i as u64,
+                                            tasks_done,
+                                            ..Beat::default()
+                                        });
+                                    }
+                                }
                             }
                             Err(payload) => {
                                 let mut slot = panicked.lock().expect("panic slot");
@@ -145,6 +225,15 @@ where
                                 }
                                 break;
                             }
+                        }
+                    }
+                    if Hub::ACTIVE {
+                        if let Some(hw) = &hub_worker {
+                            hw.publish(Beat {
+                                state: WorkerState::Done,
+                                tasks_done,
+                                ..Beat::idle()
+                            });
                         }
                     }
                     (results, timings)

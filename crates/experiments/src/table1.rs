@@ -8,6 +8,8 @@
 //! quantity the rest of the evaluation actually depends on.
 
 use crate::l1filter::L1Filter;
+use crate::runner::ObsCtx;
+use execmig_obs::{Beat, Hub, WorkerState};
 use execmig_trace::{suite, LineSize};
 
 /// One Table 1 row.
@@ -45,12 +47,41 @@ execmig_obs::impl_to_json!(Table1Row {
 ///
 /// Panics if `name` is not a suite benchmark.
 pub fn run_benchmark(name: &str, instructions: u64) -> Table1Row {
+    run_benchmark_observed(name, instructions, None)
+}
+
+/// As [`run_benchmark`], publishing a live telemetry beat every
+/// [`BEAT_PERIOD_INSTR`](crate::telemetry::BEAT_PERIOD_INSTR) retired
+/// instructions when an [`ObsCtx`] is present. The beats only read the
+/// workload's instruction counter — results are identical either way.
+///
+/// # Panics
+///
+/// Panics if `name` is not a suite benchmark.
+pub fn run_benchmark_observed(
+    name: &str,
+    instructions: u64,
+    ctx: Option<&ObsCtx<'_>>,
+) -> Table1Row {
     let info = suite::info(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let mut w = suite::by_name(name).expect("suite benchmark");
     let mut filter = L1Filter::paper(LineSize::DEFAULT);
+    let mut next_beat = crate::telemetry::BEAT_PERIOD_INSTR;
     while w.instructions() < instructions {
         let access = w.next_access();
         let _ = filter.filter(access);
+        if Hub::ACTIVE && w.instructions() >= next_beat {
+            if let Some(c) = ctx {
+                c.worker.publish(Beat {
+                    state: WorkerState::Running,
+                    task: c.task,
+                    tasks_done: c.tasks_done,
+                    instructions: w.instructions(),
+                    ..Beat::default()
+                });
+            }
+            next_beat = w.instructions() + crate::telemetry::BEAT_PERIOD_INSTR;
+        }
     }
     let stats = filter.stats();
     let instr = w.instructions();
@@ -67,9 +98,15 @@ pub fn run_benchmark(name: &str, instructions: u64) -> Table1Row {
 
 /// Runs the whole suite on `threads` workers.
 pub fn run_all(instructions: u64, threads: usize) -> Vec<Table1Row> {
-    crate::runner::parallel_map(suite::names(), threads, |name| {
-        run_benchmark(name, instructions)
+    run_all_observed(instructions, threads, None)
+}
+
+/// Runs the whole suite with live telemetry into `hub` (when given).
+pub fn run_all_observed(instructions: u64, threads: usize, hub: Option<&Hub>) -> Vec<Table1Row> {
+    crate::runner::parallel_map_observed(suite::names(), threads, hub, |name, ctx| {
+        run_benchmark_observed(name, instructions, ctx.as_ref())
     })
+    .0
 }
 
 /// Renders rows as the paper's Table 1 (plus density columns).

@@ -12,6 +12,8 @@
 use execmig_machine::{Machine, MachineConfig};
 use execmig_trace::suite;
 
+use crate::runner::ObsCtx;
+
 /// One Table 2 row.
 #[derive(Debug, Clone)]
 pub struct Table2Row {
@@ -65,15 +67,52 @@ execmig_obs::impl_to_json!(Table2Row {
 ///
 /// Panics if `name` is not a suite benchmark.
 pub fn run_benchmark(name: &str, instructions: u64) -> Table2Row {
+    run_benchmark_observed(name, instructions, None)
+}
+
+/// As [`run_benchmark`], with live telemetry beats from both machine
+/// runs when an [`ObsCtx`] is present. The simulation path is identical
+/// either way (`Machine::run_observed` only *reads* the counters), so
+/// the row — and the underlying `MachineStats` — are bit-identical with
+/// telemetry on or off.
+///
+/// # Panics
+///
+/// Panics if `name` is not a suite benchmark.
+pub fn run_benchmark_observed(
+    name: &str,
+    instructions: u64,
+    ctx: Option<&ObsCtx<'_>>,
+) -> Table2Row {
     let info = suite::info(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
 
     let mut baseline = Machine::new(MachineConfig::single_core());
     let mut w = suite::by_name(name).expect("suite benchmark");
-    baseline.run(&mut *w, instructions);
+    match ctx {
+        Some(c) => baseline.run_observed(
+            &mut *w,
+            instructions,
+            c.worker,
+            c.task,
+            c.tasks_done,
+            crate::telemetry::BEAT_PERIOD_INSTR,
+        ),
+        None => baseline.run(&mut *w, instructions),
+    }
 
     let mut migration = Machine::new(MachineConfig::four_core_migration());
     let mut w = suite::by_name(name).expect("suite benchmark");
-    migration.run(&mut *w, instructions);
+    match ctx {
+        Some(c) => migration.run_observed(
+            &mut *w,
+            instructions,
+            c.worker,
+            c.task,
+            c.tasks_done,
+            crate::telemetry::BEAT_PERIOD_INSTR,
+        ),
+        None => migration.run(&mut *w, instructions),
+    }
 
     let b = baseline.stats();
     let m = migration.stats();
@@ -105,9 +144,19 @@ pub fn run_benchmark(name: &str, instructions: u64) -> Table2Row {
 
 /// Runs the whole suite.
 pub fn run_all(instructions: u64, threads: usize) -> Vec<Table2Row> {
-    crate::runner::parallel_map(suite::names(), threads, |name| {
-        run_benchmark(name, instructions)
+    run_all_observed(instructions, threads, None)
+}
+
+/// Runs the whole suite with live telemetry into `hub` (when given).
+pub fn run_all_observed(
+    instructions: u64,
+    threads: usize,
+    hub: Option<&execmig_obs::Hub>,
+) -> Vec<Table2Row> {
+    crate::runner::parallel_map_observed(suite::names(), threads, hub, |name, ctx| {
+        run_benchmark_observed(name, instructions, ctx.as_ref())
     })
+    .0
 }
 
 /// Renders rows as the paper's Table 2, plus the paper's own ratio for

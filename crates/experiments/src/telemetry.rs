@@ -1,0 +1,199 @@
+//! `--serve-telemetry <addr>` wiring shared by the experiment binaries.
+//!
+//! One call turns a plain sweep into an observable one:
+//!
+//! ```no_run
+//! # let args: Vec<String> = std::env::args().collect();
+//! use execmig_experiments::runner::parallel_map_observed;
+//! use execmig_experiments::telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::from_args(&args, 4);
+//! let (rows, report) = parallel_map_observed(vec![1u64, 2, 3], 4, telemetry.hub(), |x, _w| x);
+//! telemetry.finish();
+//! ```
+//!
+//! While the run is in flight, `curl http://<addr>/progress` shows
+//! per-worker state, `/healthz` the stall watchdog, and `/metrics` the
+//! Prometheus series. Without `--serve-telemetry` everything here is
+//! inert; without the `trace` feature the endpoints still answer, with
+//! empty per-worker data (`Hub::ACTIVE` is false).
+
+use std::sync::{Arc, Mutex};
+
+use execmig_obs::{Hub, HubConfig, MetricsProvider, Registry, TelemetryServer};
+
+use crate::report::arg_value;
+
+/// Default retired-instruction interval between mid-task beats
+/// (`Machine::run_observed` and the sweep loops): frequent enough that
+/// `/progress` moves visibly, rare enough that publishing stays deep
+/// under the [`execmig_obs::TelemetryBudget`] (a publish is ~100 ns; at
+/// one per million instructions the hub costs well below 0.1 %).
+pub const BEAT_PERIOD_INSTR: u64 = 1_000_000;
+
+/// A metrics [`Registry`] shareable with the `/metrics` endpoint:
+/// the experiment replaces the snapshot as it goes, scrapes read it.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRegistry {
+    inner: Arc<Mutex<Registry>>,
+}
+
+impl SharedRegistry {
+    /// An empty shared registry.
+    pub fn new() -> SharedRegistry {
+        SharedRegistry::default()
+    }
+
+    /// Replaces the published snapshot.
+    pub fn update(&self, registry: Registry) {
+        *self.inner.lock().expect("shared registry") = registry;
+    }
+
+    /// The current snapshot.
+    pub fn snapshot(&self) -> Registry {
+        self.inner.lock().expect("shared registry").clone()
+    }
+
+    /// A provider closure for [`TelemetryServer::start`].
+    pub fn provider(&self) -> MetricsProvider {
+        let inner = Arc::clone(&self.inner);
+        Arc::new(move || inner.lock().expect("shared registry").clone())
+    }
+}
+
+/// The live-telemetry wiring of one experiment run: a [`Hub`] for the
+/// workers, a [`SharedRegistry`] for `/metrics`, and (when
+/// `--serve-telemetry <addr>` was given) the HTTP server itself.
+#[derive(Debug)]
+pub struct Telemetry {
+    hub: Hub,
+    metrics: SharedRegistry,
+    server: Option<TelemetryServer>,
+}
+
+impl Telemetry {
+    /// Reads `--serve-telemetry <addr>` from `args` and, if present,
+    /// binds the server. `workers` sizes the hub (one slot per worker
+    /// thread the sweep will use).
+    pub fn from_args(args: &[String], workers: usize) -> Telemetry {
+        Telemetry::new(arg_value(args, "--serve-telemetry").as_deref(), workers)
+    }
+
+    /// As [`from_args`](Self::from_args), with the address given
+    /// directly (`None` = telemetry off).
+    pub fn new(addr: Option<&str>, workers: usize) -> Telemetry {
+        let hub = Hub::new(HubConfig::with_workers(workers));
+        let metrics = SharedRegistry::new();
+        let server = addr.and_then(|addr| {
+            match TelemetryServer::start(addr, hub.clone(), metrics.provider()) {
+                Ok(server) => {
+                    eprintln!(
+                        "telemetry: serving /metrics /progress /healthz on http://{}",
+                        server.local_addr()
+                    );
+                    if !Hub::ACTIVE {
+                        eprintln!(
+                            "telemetry: built without the `trace` feature — \
+                             endpoints answer but carry no per-worker beats \
+                             (rebuild with `--features trace`)"
+                        );
+                    }
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("telemetry: cannot bind {addr}: {e} — continuing without");
+                    None
+                }
+            }
+        });
+        Telemetry {
+            hub,
+            metrics,
+            server,
+        }
+    }
+
+    /// The hub to hand to
+    /// [`parallel_map_observed`](crate::runner::parallel_map_observed);
+    /// `None` when no server is up, so unobserved runs skip publishing
+    /// entirely.
+    pub fn hub(&self) -> Option<&Hub> {
+        self.server.is_some().then_some(&self.hub)
+    }
+
+    /// The shared registry backing `/metrics`.
+    pub fn metrics(&self) -> &SharedRegistry {
+        &self.metrics
+    }
+
+    /// Whether a server is actually listening.
+    pub fn serving(&self) -> bool {
+        self.server.is_some()
+    }
+
+    /// The server's bound address, when serving.
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(TelemetryServer::local_addr)
+    }
+
+    /// Prints the hub's overhead self-accounting (when serving) and
+    /// shuts the server down. Call once the sweep is finished.
+    pub fn finish(self) {
+        if let Some(server) = self.server {
+            let overhead = self.hub.overhead();
+            eprintln!(
+                "telemetry: {} beats ({} dropped), {} bytes, {} ns publish + {} ns merge",
+                overhead.beats,
+                overhead.dropped,
+                overhead.bytes,
+                overhead.publish_ns,
+                overhead.merge_ns
+            );
+            server.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_without_the_flag() {
+        let args: Vec<String> = vec!["--instr".into(), "1000".into()];
+        let t = Telemetry::from_args(&args, 4);
+        assert!(!t.serving());
+        assert!(t.hub().is_none());
+        assert!(t.local_addr().is_none());
+        t.finish();
+    }
+
+    #[test]
+    fn serves_on_an_ephemeral_port() {
+        let t = Telemetry::new(Some("127.0.0.1:0"), 2);
+        assert!(t.serving());
+        assert!(t.hub().is_some());
+        let addr = t.local_addr().expect("bound");
+        assert_ne!(addr.port(), 0);
+        t.finish();
+    }
+
+    #[test]
+    fn bad_address_degrades_gracefully() {
+        let t = Telemetry::new(Some("256.256.256.256:99999"), 2);
+        assert!(!t.serving());
+        t.finish();
+    }
+
+    #[test]
+    fn shared_registry_round_trips() {
+        let shared = SharedRegistry::new();
+        let mut r = Registry::new();
+        r.counter("rows_done", 3);
+        shared.update(r);
+        let provider = shared.provider();
+        let got = provider();
+        assert_eq!(got, shared.snapshot());
+        assert!(execmig_obs::to_prometheus(&got, "x_").contains("x_rows_done 3"));
+    }
+}

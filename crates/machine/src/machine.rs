@@ -3,7 +3,8 @@
 use execmig_cache::{Cache, FillIfAbsent};
 use execmig_core::MigrationController;
 use execmig_obs::{
-    EventKind, Histogram, ProfileConfig, ProfileCumulative, Profiler, Registry, Tracer,
+    Beat, EventKind, Histogram, Hub, HubWorker, ProfileConfig, ProfileCumulative, Profiler,
+    Registry, Tracer, WorkerState,
 };
 use execmig_trace::{AccessKind, LineAddr, LineSize, Workload};
 
@@ -251,6 +252,70 @@ impl Machine {
                 now,
                 access.pointer,
             );
+        }
+    }
+
+    /// Like [`run`](Self::run), publishing live progress beats into a
+    /// telemetry hub every `beat_period` retired instructions (plus one
+    /// final beat when the budget is reached).
+    ///
+    /// The beats are pure reads of the machine's counters — the
+    /// simulation path is byte-for-byte the one [`run`](Self::run)
+    /// takes, so [`MachineStats`] stay bit-identical with telemetry on
+    /// or off. Without the `trace` feature, `Hub::ACTIVE` is false and
+    /// the whole publishing branch is dead code.
+    ///
+    /// `task` and `tasks_done` identify the caller's unit of work; they
+    /// pass through into every beat unchanged (the hub merge keeps the
+    /// newest beat per worker, so mixed publishers should agree on
+    /// them).
+    pub fn run_observed<W: Workload + ?Sized>(
+        &mut self,
+        workload: &mut W,
+        instructions: u64,
+        worker: &HubWorker,
+        task: u64,
+        tasks_done: u64,
+        beat_period: u64,
+    ) {
+        let period = beat_period.max(1);
+        let mut next_beat = workload.instructions().saturating_add(period);
+        while workload.instructions() < instructions {
+            let access = workload.next_access();
+            let now = workload.instructions();
+            self.step_tagged(
+                access.kind,
+                self.line.line_of(access.addr),
+                now,
+                access.pointer,
+            );
+            if Hub::ACTIVE && now >= next_beat {
+                worker.publish(self.progress_beat(WorkerState::Running, task, tasks_done));
+                next_beat = now.saturating_add(period);
+            }
+        }
+        if Hub::ACTIVE {
+            worker.publish(self.progress_beat(WorkerState::Running, task, tasks_done));
+        }
+    }
+
+    /// The machine's counters as one telemetry [`Beat`] (the live-hub
+    /// analogue of [`profile_cumulative`](Self::profile_cumulative)).
+    pub fn progress_beat(&self, state: WorkerState, task: u64, tasks_done: u64) -> Beat {
+        let (f_value, a_r) = match &self.controller {
+            Some(mc) => (mc.filter_value(), mc.ar()),
+            None => (0, 0),
+        };
+        Beat {
+            state,
+            task,
+            tasks_done,
+            instructions: self.stats.instructions,
+            l2_misses: self.stats.l2_misses,
+            migrations: self.stats.migrations,
+            f_value,
+            a_r,
+            bus_bytes: self.stats.bus.update_bus_bytes(),
         }
     }
 

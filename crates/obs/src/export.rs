@@ -57,41 +57,192 @@ fn sanitize(name: &str) -> String {
     out
 }
 
-/// Renders `registry` in the Prometheus text exposition format.
-/// Histograms emit cumulative `_bucket{le=…}` series plus `_sum` and
-/// `_count`, matching the native histogram convention.
-pub fn to_prometheus(registry: &Registry, prefix: &str) -> String {
-    let mut out = String::new();
-    for (name, value) in registry.iter() {
-        let full = sanitize(&format!("{prefix}{name}"));
-        match value {
-            MetricValue::Counter(v) => {
-                out.push_str(&format!("# TYPE {full} counter\n{full} {v}\n"));
-            }
-            MetricValue::Gauge(v) => {
-                out.push_str(&format!("# TYPE {full} gauge\n{full} {v}\n"));
-            }
-            MetricValue::Histogram(h) => {
-                out.push_str(&format!("# TYPE {full} histogram\n"));
-                let mut cumulative = 0u64;
-                for i in 0..BUCKETS {
-                    let c = h.bucket_counts()[i];
-                    if c == 0 {
-                        continue;
-                    }
-                    cumulative += c;
-                    out.push_str(&format!(
-                        "{full}_bucket{{le=\"{}\"}} {cumulative}\n",
-                        Histogram::bucket_upper(i)
-                    ));
-                }
-                out.push_str(&format!("{full}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
-                out.push_str(&format!("{full}_sum {}\n", h.sum()));
-                out.push_str(&format!("{full}_count {}\n", h.count()));
-            }
+/// Escapes a label value per the exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
         }
     }
     out
+}
+
+/// Escapes a `# HELP` docstring: `\` → `\\`, newline → `\n` (quotes are
+/// legal in help text and stay as-is).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The metric family kinds the exposition format knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromKind {
+    /// Monotonically nondecreasing.
+    Counter,
+    /// Free to move either way.
+    Gauge,
+    /// Cumulative `_bucket`/`_sum`/`_count` series.
+    Histogram,
+}
+
+impl PromKind {
+    /// The keyword used on the `# TYPE` line.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+            PromKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Conformance-correct Prometheus text-exposition writer.
+///
+/// Guarantees the exporter previously violated when sanitised names
+/// collided (`a.b` and `a_b` both map to `a_b`):
+///
+/// - `# TYPE` (and `# HELP`, when given) are emitted exactly once per
+///   metric family, however many times [`family`](PromWriter::family)
+///   is called for it;
+/// - label values are escaped (`\\`, `\"`, `\n`) so arbitrary strings
+///   survive the wire format;
+/// - metric names pass through [`sanitize`] in both the family header
+///   and the sample lines, so they can never disagree.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+    seen: std::collections::HashSet<String>,
+}
+
+impl PromWriter {
+    /// An empty writer.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    /// Declares a metric family. The first call for a given (sanitised)
+    /// name emits `# HELP` (if provided) and `# TYPE`; repeat calls are
+    /// no-ops, making collision-by-sanitisation harmless.
+    pub fn family(&mut self, name: &str, kind: PromKind, help: Option<&str>) {
+        let name = sanitize(name);
+        if !self.seen.insert(name.clone()) {
+            return;
+        }
+        if let Some(help) = help {
+            self.out
+                .push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+        }
+        self.out
+            .push_str(&format!("# TYPE {name} {}\n", kind.as_str()));
+    }
+
+    /// Emits one sample line. `labels` are `(name, value)` pairs; values
+    /// are escaped, names sanitised. Integral values print without a
+    /// decimal point (matching the pre-writer exporter).
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(&sanitize(name));
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out
+                    .push_str(&format!("{}=\"{}\"", sanitize(k), escape_label_value(v)));
+            }
+            self.out.push('}');
+        }
+        self.out.push_str(&format!(" {value}\n"));
+    }
+
+    /// Emits a sample whose value is pre-rendered (used by histogram
+    /// bucket bounds where `u64` counts must not pick up a `.0`).
+    fn sample_raw(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(&sanitize(name));
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out
+                    .push_str(&format!("{}=\"{}\"", sanitize(k), escape_label_value(v)));
+            }
+            self.out.push('}');
+        }
+        self.out.push_str(&format!(" {value}\n"));
+    }
+
+    /// Emits a full histogram family: cumulative `_bucket{le=…}` series
+    /// plus `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: Option<&str>, h: &Histogram) {
+        self.family(name, PromKind::Histogram, help);
+        let base = sanitize(name);
+        let mut cumulative = 0u64;
+        for i in 0..BUCKETS {
+            let c = h.bucket_counts()[i];
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let le = Histogram::bucket_upper(i).to_string();
+            self.sample_raw(
+                &format!("{base}_bucket"),
+                &[("le", &le)],
+                &cumulative.to_string(),
+            );
+        }
+        self.sample_raw(
+            &format!("{base}_bucket"),
+            &[("le", "+Inf")],
+            &h.count().to_string(),
+        );
+        self.sample_raw(&format!("{base}_sum"), &[], &h.sum().to_string());
+        self.sample_raw(&format!("{base}_count"), &[], &h.count().to_string());
+    }
+
+    /// The accumulated exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders `registry` in the Prometheus text exposition format.
+/// Histograms emit cumulative `_bucket{le=…}` series plus `_sum` and
+/// `_count`, matching the native histogram convention. Built on
+/// [`PromWriter`], so `# TYPE` appears exactly once per family even
+/// when sanitised names collide.
+pub fn to_prometheus(registry: &Registry, prefix: &str) -> String {
+    let mut w = PromWriter::new();
+    for (name, value) in registry.iter() {
+        let full = format!("{prefix}{name}");
+        match value {
+            MetricValue::Counter(v) => {
+                w.family(&full, PromKind::Counter, None);
+                w.sample_raw(&full, &[], &v.to_string());
+            }
+            MetricValue::Gauge(v) => {
+                w.family(&full, PromKind::Gauge, None);
+                w.sample_raw(&full, &[], &v.to_string());
+            }
+            MetricValue::Histogram(h) => {
+                w.histogram(&full, None, h);
+            }
+        }
+    }
+    w.finish()
 }
 
 /// Renders `registry` as CSV (`metric,kind,value` rows; histograms
@@ -177,5 +328,187 @@ execmig_dwell_count 3
         r.counter("bus.bytes/instr", 1);
         let text = to_prometheus(&r, "");
         assert!(text.contains("bus_bytes_instr 1"));
+    }
+
+    // ---- exposition-format conformance ------------------------------
+    //
+    // A tiny parser for the exporter's own output: enough grammar to
+    // check the invariants a real Prometheus scraper relies on.
+
+    /// `(metric name, labels, rendered value)`.
+    type Sample = (String, Vec<(String, String)>, String);
+
+    #[derive(Debug, Default)]
+    struct Parsed {
+        type_lines: Vec<(String, String)>,
+        help_lines: Vec<String>,
+        samples: Vec<Sample>,
+    }
+
+    fn unescape_label(v: &str) -> String {
+        let mut out = String::new();
+        let mut chars = v.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                other => panic!("bad escape \\{other:?}"),
+            }
+        }
+        out
+    }
+
+    fn parse_exposition(text: &str) -> Parsed {
+        let mut p = Parsed::default();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE has name and kind");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown kind {kind:?}"
+                );
+                p.type_lines.push((name.to_string(), kind.to_string()));
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, _) = rest.split_once(' ').expect("HELP has name and text");
+                p.help_lines.push(name.to_string());
+                continue;
+            }
+            // Sample line: name[{labels}] value. The label block is
+            // delimited by the *last* '}' so escaped quotes inside
+            // values cannot confuse us (values never contain '}'
+            // unescaped... they can! so scan quotes properly).
+            let (head, value) = match line.rfind(' ') {
+                Some(i) => (&line[..i], &line[i + 1..]),
+                None => panic!("sample line without value: {line:?}"),
+            };
+            let (name, labels) = match head.find('{') {
+                None => (head.to_string(), Vec::new()),
+                Some(open) => {
+                    assert!(head.ends_with('}'), "unterminated label block: {line:?}");
+                    let body = &head[open + 1..head.len() - 1];
+                    let mut labels = Vec::new();
+                    let mut rest = body;
+                    while !rest.is_empty() {
+                        let eq = rest.find("=\"").expect("label is k=\"v\"");
+                        let key = &rest[..eq];
+                        let mut val = String::new();
+                        let mut escaped = false;
+                        let mut end = None;
+                        for (i, c) in rest[eq + 2..].char_indices() {
+                            if escaped {
+                                escaped = false;
+                                val.push('\\');
+                                val.push(c);
+                            } else if c == '\\' {
+                                escaped = true;
+                            } else if c == '"' {
+                                end = Some(eq + 2 + i);
+                                break;
+                            } else {
+                                val.push(c);
+                            }
+                        }
+                        let end = end.expect("label value closed");
+                        labels.push((key.to_string(), unescape_label(&val)));
+                        rest = rest[end + 1..].trim_start_matches(',');
+                    }
+                    (head[..open].to_string(), labels)
+                }
+            };
+            for c in name.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric() || c == '_' || c == ':',
+                    "illegal metric-name char {c:?} in {name:?}"
+                );
+            }
+            p.samples.push((name, labels, value.to_string()));
+        }
+        p
+    }
+
+    #[test]
+    fn type_emitted_once_despite_sanitised_name_collision() {
+        // "a.b" and "a_b" both sanitise to "a_b"; the old exporter
+        // emitted two `# TYPE a_b counter` lines, which Prometheus
+        // rejects as a duplicate family declaration.
+        let mut r = Registry::new();
+        r.counter("a.b", 1);
+        r.counter("a_b", 2);
+        let text = to_prometheus(&r, "");
+        let parsed = parse_exposition(&text);
+        assert_eq!(
+            parsed.type_lines,
+            vec![("a_b".to_string(), "counter".to_string())]
+        );
+        assert_eq!(parsed.samples.len(), 2);
+    }
+
+    #[test]
+    fn writer_escapes_label_values_round_trip() {
+        let hairy = "quote \" backslash \\ newline \n done";
+        let mut w = PromWriter::new();
+        w.family(
+            "jobs",
+            PromKind::Gauge,
+            Some("Jobs by name,\nline two \\ raw"),
+        );
+        w.sample("jobs", &[("name", hairy), ("state", "running")], 3.0);
+        let text = w.finish();
+        assert!(!text.contains('\u{0}'));
+        // Every physical line is either a comment or a sample — the raw
+        // newline inside the value must not have produced a bare line.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("jobs"),
+                "stray line from unescaped newline: {line:?}"
+            );
+        }
+        let parsed = parse_exposition(&text);
+        assert_eq!(parsed.samples.len(), 1);
+        let (name, labels, value) = &parsed.samples[0];
+        assert_eq!(name, "jobs");
+        assert_eq!(value, "3");
+        assert_eq!(labels[0], ("name".to_string(), hairy.to_string()));
+        assert_eq!(labels[1], ("state".to_string(), "running".to_string()));
+    }
+
+    #[test]
+    fn help_and_type_once_per_family_across_repeat_declarations() {
+        let mut w = PromWriter::new();
+        for _ in 0..3 {
+            w.family("x_total", PromKind::Counter, Some("a counter"));
+            w.sample("x_total", &[], 1.0);
+        }
+        let text = w.finish();
+        let parsed = parse_exposition(&text);
+        assert_eq!(parsed.type_lines.len(), 1);
+        assert_eq!(parsed.help_lines, vec!["x_total".to_string()]);
+        assert_eq!(parsed.samples.len(), 3);
+    }
+
+    #[test]
+    fn full_registry_output_parses_cleanly() {
+        let text = to_prometheus(&sample_registry(), "execmig_");
+        let parsed = parse_exposition(&text);
+        // One TYPE per family, each family's samples present.
+        let mut families: Vec<&str> = parsed.type_lines.iter().map(|(n, _)| n.as_str()).collect();
+        families.sort_unstable();
+        assert_eq!(
+            families,
+            vec!["execmig_dwell", "execmig_l2_misses", "execmig_miss_rate"]
+        );
+        let bucket_samples = parsed
+            .samples
+            .iter()
+            .filter(|(n, _, _)| n == "execmig_dwell_bucket")
+            .count();
+        assert_eq!(bucket_samples, 3, "two live buckets plus +Inf");
     }
 }

@@ -1,0 +1,466 @@
+//! A minimal, dependency-free HTTP/1.1 request parser and response
+//! writer for the telemetry serving edge ([`crate::serve`]).
+//!
+//! Same discipline as the in-tree JSON parser ([`crate::json`]): no
+//! third-party crates, typed errors, and — because this code faces
+//! arbitrary bytes from a socket — it must *never* panic (the E005
+//! hot-path panic-freedom policy applied to the network edge). Every
+//! failure mode is an [`HttpError`] variant; malformed input, oversized
+//! heads, and truncated bodies all come back as clean errors.
+//!
+//! The parser is incremental: [`parse_request`] consumes a byte buffer
+//! that may hold a partial request (returns `Ok(None)`, read more), a
+//! complete one (returns the request and how many bytes it consumed),
+//! or several pipelined requests (call it again on the remainder).
+
+/// Maximum bytes of request head (request line + headers) accepted.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Maximum number of header lines accepted.
+pub const MAX_HEADERS: usize = 64;
+
+/// Maximum request body bytes accepted.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// Why a request failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Request line is not `METHOD TARGET HTTP/x.y`.
+    BadRequestLine,
+    /// Only HTTP/1.0 and HTTP/1.1 are spoken here.
+    UnsupportedVersion(String),
+    /// A header line has no `:` or a malformed name.
+    BadHeader,
+    /// The head (request line + headers) exceeds [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// More than [`MAX_HEADERS`] header lines.
+    TooManyHeaders,
+    /// `Content-Length` is not a number.
+    BadContentLength,
+    /// Declared body exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequestLine => write!(f, "malformed request line"),
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            HttpError::BadHeader => write!(f, "malformed header line"),
+            HttpError::HeadTooLarge => {
+                write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            HttpError::TooManyHeaders => write!(f, "more than {MAX_HEADERS} headers"),
+            HttpError::BadContentLength => write!(f, "unparseable Content-Length"),
+            HttpError::BodyTooLarge => write!(f, "body exceeds {MAX_BODY_BYTES} bytes"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl HttpError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::HeadTooLarge | HttpError::TooManyHeaders => 431,
+            HttpError::BodyTooLarge => 413,
+            _ => 400,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (as sent; never normalised).
+    pub method: String,
+    /// The request target (`/progress?pretty=1`).
+    pub target: String,
+    /// `1.0` or `1.1`.
+    pub version: String,
+    /// Header `(name, value)` pairs, in wire order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (ASCII case-insensitive lookup;
+    /// stored names are already lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target without its query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// True when the client asked to close (or, on 1.0, didn't ask to
+    /// keep alive).
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => self.version == "1.0",
+        }
+    }
+}
+
+/// Attempts to parse one request from the front of `buf`.
+///
+/// - `Ok(Some((request, consumed)))`: a complete request; `consumed`
+///   bytes belong to it (pipelined requests follow at `buf[consumed..]`).
+/// - `Ok(None)`: the buffer holds a valid *prefix*; read more bytes.
+///   A connection dropped here (EOF with a nonempty buffer) is a
+///   truncated request — the caller treats it as a clean close.
+/// - `Err(e)`: the bytes can never become a valid request.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    // Locate the end of the head: CRLFCRLF (tolerating bare LFLF).
+    let Some((head_end, sep_len)) = find_head_end(buf) else {
+        // No terminator yet. Either genuinely partial, or the head has
+        // already outgrown its budget and can never complete.
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        return Ok(None);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::HeadTooLarge);
+    }
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(s) => s,
+        Err(_) => return Err(HttpError::BadRequestLine),
+    };
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequestLine);
+    }
+    let version = match version {
+        "HTTP/1.1" => "1.1",
+        "HTTP/1.0" => "1.0",
+        v => match v.strip_prefix("HTTP/") {
+            Some(rest) => return Err(HttpError::UnsupportedVersion(rest.to_string())),
+            None => return Err(HttpError::BadRequestLine),
+        },
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooManyHeaders);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadHeader);
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Err(HttpError::BadContentLength),
+        },
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let body_start = head_end + sep_len;
+    let body_end = body_start + content_length;
+    if buf.len() < body_end {
+        return Ok(None); // body still in flight
+    }
+    Ok(Some((
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            version: version.to_string(),
+            headers,
+            body: buf[body_start..body_end].to_vec(),
+        },
+        body_end,
+    )))
+}
+
+/// Byte offset where the head ends and the length of the blank-line
+/// separator (4 for CRLFCRLF, 2 for LFLF).
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    for i in 0..buf.len() {
+        if buf[i..].starts_with(b"\r\n\r\n") {
+            return Some((i, 4));
+        }
+        if buf[i..].starts_with(b"\n\n") {
+            return Some((i, 2));
+        }
+    }
+    None
+}
+
+/// Serialises an HTTP/1.1 response with `Content-Length` framing.
+pub fn response(status: u16, content_type: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: {content_type}\r\n\
+         Content-Length: {}\r\n\
+         Connection: {}\r\n\
+         \r\n\
+         {body}",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(bytes: &[u8]) -> Request {
+        match parse_request(bytes) {
+            Ok(Some((r, consumed))) => {
+                assert_eq!(consumed, bytes.len(), "whole buffer consumed");
+                r
+            }
+            other => panic!("expected a complete request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let r = parse_one(b"GET /progress HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.target, "/progress");
+        assert_eq!(r.version, "1.1");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"), "case-insensitive lookup");
+        assert!(r.body.is_empty());
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn path_strips_query() {
+        let r = parse_one(b"GET /progress?pretty=1 HTTP/1.1\r\n\r\n");
+        assert_eq!(r.path(), "/progress");
+        assert_eq!(r.target, "/progress?pretty=1");
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let close = parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(close.wants_close());
+        let old = parse_one(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(old.wants_close(), "1.0 defaults to close");
+        let oldka = parse_one(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(!oldka.wants_close());
+    }
+
+    #[test]
+    fn body_follows_content_length() {
+        let r = parse_one(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+        assert_eq!(r.body, b"hello");
+    }
+
+    // ---- robustness: the parser faces arbitrary socket bytes and
+    // must return clean errors, never panic (E005 applied to the edge).
+
+    #[test]
+    fn malformed_request_lines_error_cleanly() {
+        for bad in [
+            &b""[..],                            // caught as partial, then:
+            b"\r\n\r\n",                         // empty request line
+            b"GET\r\n\r\n",                      // no target
+            b"GET /x\r\n\r\n",                   // no version
+            b"GET /x HTTP/1.1 extra\r\n\r\n",    // four words
+            b"get /x HTTP/1.1\r\n\r\n",          // lowercase method
+            b"GET /x FTP/1.1\r\n\r\n",           // not HTTP at all
+            b"\x00\x01\x02 /x HTTP/1.1\r\n\r\n", // binary garbage
+            b"\xff\xfe /x HTTP/1.1\r\n\r\n",     // invalid UTF-8
+        ] {
+            match parse_request(bad) {
+                Ok(Some(_)) => panic!("accepted malformed request {bad:?}"),
+                Ok(None) => assert!(
+                    find_head_end(bad).is_none(),
+                    "complete head parsed as partial: {bad:?}"
+                ),
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_reported() {
+        let r = parse_request(b"GET /x HTTP/2.0\r\n\r\n");
+        assert_eq!(r, Err(HttpError::UnsupportedVersion("2.0".to_string())));
+        assert_eq!(
+            HttpError::UnsupportedVersion("2.0".to_string()).status(),
+            400
+        );
+    }
+
+    #[test]
+    fn malformed_headers_error_cleanly() {
+        for bad in [
+            &b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+            b"GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbad name: v\r\n\r\n",
+        ] {
+            assert_eq!(parse_request(bad), Err(HttpError::BadHeader), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_not_buffered_forever() {
+        // A head that never terminates must fail once past the budget,
+        // not ask the caller to keep reading without bound.
+        let mut buf = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+        buf.resize(MAX_HEAD_BYTES + 1, b'a');
+        assert_eq!(parse_request(&buf), Err(HttpError::HeadTooLarge));
+        // And a terminated head that is simply too large also fails.
+        let mut big = b"GET / HTTP/1.1\r\ny: ".to_vec();
+        big.resize(MAX_HEAD_BYTES + 8, b'b');
+        big.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(parse_request(&big), Err(HttpError::HeadTooLarge));
+    }
+
+    #[test]
+    fn too_many_headers_rejected() {
+        let mut buf = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            buf.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        buf.extend_from_slice(b"\r\n");
+        assert_eq!(parse_request(&buf), Err(HttpError::TooManyHeaders));
+    }
+
+    #[test]
+    fn content_length_abuse_rejected() {
+        assert_eq!(
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        );
+        assert_eq!(
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        );
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse_request(huge.as_bytes()), Err(HttpError::BodyTooLarge));
+    }
+
+    #[test]
+    fn partial_reads_resume_cleanly() {
+        // Feed the request a byte at a time: every prefix must be
+        // Ok(None), the full buffer must parse, and nothing panics.
+        let wire = b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+        for cut in 0..wire.len() {
+            assert_eq!(
+                parse_request(&wire[..cut]),
+                Ok(None),
+                "prefix of {cut} bytes should be partial"
+            );
+        }
+        let (r, consumed) = parse_request(wire).expect("parses").expect("complete");
+        assert_eq!(consumed, wire.len());
+        assert_eq!(r.path(), "/metrics");
+        assert!(r.wants_close());
+    }
+
+    #[test]
+    fn connection_drop_mid_body_stays_partial() {
+        // Head complete, Content-Length promises 10 bytes, only 4
+        // arrived before the peer vanished. The parser reports a
+        // partial — the caller sees EOF next and closes quietly.
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabcd";
+        assert_eq!(parse_request(wire), Ok(None));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let wire =
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /progress HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (first, consumed) = parse_request(wire).expect("ok").expect("complete");
+        assert_eq!(first.path(), "/healthz");
+        assert!(!first.wants_close());
+        let rest = &wire[consumed..];
+        let (second, consumed2) = parse_request(rest).expect("ok").expect("complete");
+        assert_eq!(second.path(), "/progress");
+        assert!(second.wants_close());
+        assert_eq!(consumed + consumed2, wire.len());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic() {
+        // A deterministic xorshift fuzz pass: whatever lands in the
+        // buffer, parse_request must return, not unwind.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            let len = (next() % 300) as usize;
+            let mut buf = Vec::with_capacity(len);
+            for _ in 0..len {
+                buf.push(next() as u8);
+            }
+            // Bias some trials toward almost-valid requests.
+            if trial % 3 == 0 {
+                let mut v = b"GET /x HTTP/1.1\r\n".to_vec();
+                v.extend_from_slice(&buf);
+                buf = v;
+            }
+            let _ = parse_request(&buf);
+        }
+    }
+
+    #[test]
+    fn lf_only_line_endings_are_tolerated() {
+        let r = parse_one(b"GET /healthz HTTP/1.1\nHost: x\n\n");
+        assert_eq!(r.path(), "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn response_is_framed() {
+        let bytes = response(200, "text/plain", "hi", true);
+        let text = String::from_utf8(bytes).expect("ascii response");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+        let closed = response(503, "application/json", "{}", false);
+        assert!(String::from_utf8(closed)
+            .expect("ascii")
+            .contains("Connection: close"));
+    }
+}

@@ -18,6 +18,14 @@
 //!   O(capacity). Same zero-cost-when-off discipline as [`Tracer`].
 //! - [`chrome`]: Chrome Trace Event Format export of profiles and the
 //!   [`EventRing`], loadable in `chrome://tracing`/Perfetto.
+//! - [`hub`]: a feature-gated live-telemetry [`Hub`] — lock-free
+//!   per-worker SPSC beat rings with an epoch'd snapshot merge and
+//!   overhead self-accounting ([`TelemetryBudget`]). Zero-sized no-op
+//!   without `trace`, like [`Tracer`]/[`Profiler`].
+//! - [`http`]: a minimal, panic-free HTTP/1.1 request parser and
+//!   response writer (no third-party deps).
+//! - [`serve`]: the [`TelemetryServer`] serving `/metrics`,
+//!   `/progress`, and `/healthz` over the in-tree HTTP stack.
 //!
 //! Serialisation rides on the in-tree [`Json`]/[`ToJson`] model (the
 //! workspace builds offline, with no external crates); structs derive
@@ -26,21 +34,30 @@
 pub mod chrome;
 pub mod event;
 pub mod export;
+pub mod http;
+pub mod hub;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod profile;
 pub mod ring;
+pub mod serve;
 pub mod span;
 pub mod tracer;
 
 pub use chrome::ChromeTraceBuilder;
 pub use event::{EventKind, TraceEvent};
-pub use export::{to_csv, to_prometheus};
+pub use export::{escape_label_value, to_csv, to_prometheus, PromKind, PromWriter};
+pub use http::{parse_request, response, HttpError, Request};
+pub use hub::{
+    Beat, BudgetVerdict, HealthReport, Hub, HubConfig, HubOverhead, HubSnapshot, HubWorker,
+    TelemetryBudget, WorkerProgress, WorkerState,
+};
 pub use json::{Json, JsonParseError, ToJson};
 pub use manifest::RunManifest;
 pub use metrics::{Histogram, MetricValue, Registry};
 pub use profile::{ProfileConfig, ProfileCumulative, ProfileRecord, Profiler};
 pub use ring::EventRing;
+pub use serve::{MetricsProvider, TelemetryServer};
 pub use span::{Span, SpanSet, Stopwatch};
 pub use tracer::Tracer;

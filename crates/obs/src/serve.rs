@@ -1,0 +1,345 @@
+//! The telemetry serving edge: a dependency-free HTTP/1.1 server
+//! exposing a running experiment's live state.
+//!
+//! Three endpoints, all read-only:
+//!
+//! - `/metrics` — the metrics [`Registry`] from the caller's provider
+//!   in Prometheus text exposition, plus the hub's own per-worker
+//!   progress series and overhead self-accounting;
+//! - `/progress` — the merged [`HubSnapshot`](crate::hub::HubSnapshot)
+//!   as JSON: per-worker rows, aggregate totals, hub config, and the
+//!   stall watchdog's view;
+//! - `/healthz` — `200 {"status":"ok"}` while every running worker is
+//!   beating, `503 {"status":"stalled", …}` once a worker has missed
+//!   its beat budget ([`HubConfig::stall_beats`](crate::hub::HubConfig)).
+//!
+//! The server owns one accept thread; each connection gets a short
+//! read-timeout handler thread that speaks enough HTTP/1.1 (keep-alive,
+//! pipelining, `Content-Length` framing) for curl, Prometheus scrapers,
+//! and browsers. Serving never touches the workers' publish hot path —
+//! request handling drives the hub's cold-side snapshot merge only.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::export::{to_prometheus, PromKind, PromWriter};
+use crate::http::{parse_request, response, HttpError};
+use crate::hub::Hub;
+use crate::json::{Json, ToJson};
+use crate::metrics::Registry;
+
+/// Supplies the current metrics registry on each `/metrics` scrape.
+pub type MetricsProvider = Arc<dyn Fn() -> Registry + Send + Sync>;
+
+/// How long a connection may sit idle mid-request before being closed.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Accept-loop poll interval while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// A running telemetry server. Dropping it (or calling
+/// [`shutdown`](TelemetryServer::shutdown)) stops the accept loop.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TelemetryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9163`, port 0 for ephemeral) and
+    /// starts serving `hub` and `metrics` in the background.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        hub: Hub,
+        metrics: MetricsProvider,
+    ) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("telemetry-accept".to_string())
+            .spawn(move || {
+                while !accept_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let hub = hub.clone();
+                            let metrics = Arc::clone(&metrics);
+                            let conn_stop = Arc::clone(&accept_stop);
+                            // Detached: bounded by read timeouts and the
+                            // stop flag, not by join.
+                            let _ = std::thread::Builder::new()
+                                .name("telemetry-conn".to_string())
+                                .spawn(move || {
+                                    handle_connection(stream, &hub, &metrics, &conn_stop)
+                                });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                    }
+                }
+            })?;
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `http://addr/path` for log lines and tests.
+    pub fn url(&self, path: &str) -> String {
+        format!("http://{}{path}", self.addr)
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    hub: &Hub,
+    metrics: &MetricsProvider,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_request(&buf) {
+            Ok(Some((request, consumed))) => {
+                let keep_alive = !request.wants_close() && !stop.load(Ordering::Relaxed);
+                let bytes = route(&request.method, request.path(), hub, metrics, keep_alive);
+                if stream.write_all(&bytes).is_err() {
+                    return;
+                }
+                buf.drain(..consumed);
+                if !keep_alive {
+                    return;
+                }
+                // Pipelined requests already buffered are served before
+                // the next read.
+                continue;
+            }
+            Ok(None) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                match stream.read(&mut chunk) {
+                    // EOF: a clean close, or a connection dropped
+                    // mid-request — either way, stop quietly.
+                    Ok(0) => return,
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        // Idle past the timeout with a partial request
+                        // buffered means the peer stalled; drop it.
+                        if !buf.is_empty() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+            Err(e) => {
+                let _ = stream.write_all(&error_response(&e));
+                return;
+            }
+        }
+    }
+}
+
+fn error_response(e: &HttpError) -> Vec<u8> {
+    let body = Json::object().field("error", format!("{e}")).compact();
+    response(e.status(), "application/json", &body, false)
+}
+
+fn route(
+    method: &str,
+    path: &str,
+    hub: &Hub,
+    metrics: &MetricsProvider,
+    keep_alive: bool,
+) -> Vec<u8> {
+    if method != "GET" && method != "HEAD" {
+        let body = Json::object()
+            .field("error", "only GET is supported".to_string())
+            .compact();
+        return response(405, "application/json", &body, keep_alive);
+    }
+    match path {
+        "/metrics" => {
+            let mut text = to_prometheus(&metrics(), "execmig_");
+            text.push_str(&hub_prometheus(hub));
+            response(200, "text/plain; version=0.0.4", &text, keep_alive)
+        }
+        "/progress" => {
+            let snapshot = hub.snapshot();
+            let stalled = snapshot.stalled_workers(hub.config().stall_after_us());
+            let body = snapshot
+                .to_json()
+                .field("config", hub.config())
+                .field("stalled", &stalled)
+                .pretty();
+            response(200, "application/json", &body, keep_alive)
+        }
+        "/healthz" => {
+            let health = hub.health();
+            let status = if health.ok { 200 } else { 503 };
+            response(
+                status,
+                "application/json",
+                &health.to_json().pretty(),
+                keep_alive,
+            )
+        }
+        "/" => {
+            let body = Json::object()
+                .field(
+                    "endpoints",
+                    vec![
+                        "/metrics".to_string(),
+                        "/progress".to_string(),
+                        "/healthz".to_string(),
+                    ],
+                )
+                .pretty();
+            response(200, "application/json", &body, keep_alive)
+        }
+        _ => {
+            let body = Json::object()
+                .field("error", format!("no such endpoint {path}"))
+                .compact();
+            response(404, "application/json", &body, keep_alive)
+        }
+    }
+}
+
+/// The hub's live state as Prometheus series: per-worker progress
+/// gauges (labelled `{worker="i",state="running"}`) and the overhead
+/// self-accounting counters.
+pub fn hub_prometheus(hub: &Hub) -> String {
+    let snapshot = hub.snapshot();
+    let mut w = PromWriter::new();
+    // Family-major: the exposition format requires all samples of a
+    // family in one contiguous group under its TYPE line.
+    type RowValue = fn(&crate::hub::WorkerProgress) -> u64;
+    let families: [(&str, &str, RowValue); 6] = [
+        (
+            "execmig_worker_instructions",
+            "Instructions retired by this worker, from its newest beat",
+            |r| r.instructions,
+        ),
+        (
+            "execmig_worker_l2_misses",
+            "L2 misses by this worker",
+            |r| r.l2_misses,
+        ),
+        (
+            "execmig_worker_migrations",
+            "Migrations by this worker",
+            |r| r.migrations,
+        ),
+        (
+            "execmig_worker_tasks_done",
+            "Tasks completed by this worker",
+            |r| r.tasks_done,
+        ),
+        (
+            "execmig_worker_beats",
+            "Beats merged from this worker",
+            |r| r.beats,
+        ),
+        (
+            "execmig_worker_beat_age_us",
+            "Microseconds since this worker's newest beat",
+            |r| r.age_us,
+        ),
+    ];
+    for (name, help, value_of) in families {
+        w.family(name, PromKind::Gauge, Some(help));
+        for row in &snapshot.workers {
+            let worker = row.worker.to_string();
+            let labels: &[(&str, &str)] = &[("worker", &worker), ("state", row.state.as_str())];
+            w.sample(name, labels, value_of(row) as f64);
+        }
+    }
+    let o = snapshot.overhead;
+    for (name, help, value) in [
+        (
+            "execmig_hub_beats_total",
+            "Beats accepted into hub rings",
+            o.beats,
+        ),
+        (
+            "execmig_hub_beats_dropped_total",
+            "Beats dropped on full hub rings",
+            o.dropped,
+        ),
+        (
+            "execmig_hub_bytes_total",
+            "Payload bytes moved through hub rings",
+            o.bytes,
+        ),
+        (
+            "execmig_hub_publish_ns_total",
+            "Nanoseconds spent inside hub publish calls",
+            o.publish_ns,
+        ),
+        (
+            "execmig_hub_merge_ns_total",
+            "Nanoseconds spent inside hub snapshot merges",
+            o.merge_ns,
+        ),
+        (
+            "execmig_hub_merges_total",
+            "Hub snapshot merges performed",
+            o.merges,
+        ),
+    ] {
+        w.family(name, PromKind::Counter, Some(help));
+        w.sample(name, &[], value as f64);
+    }
+    w.family(
+        "execmig_hub_epoch",
+        PromKind::Gauge,
+        Some("Snapshot merge epoch"),
+    );
+    w.sample("execmig_hub_epoch", &[], snapshot.epoch as f64);
+    w.finish()
+}
