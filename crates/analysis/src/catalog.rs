@@ -99,6 +99,18 @@ pub const CATALOG: &[Rule] = &[
         paper: "repo policy (live telemetry must cost nothing when compiled out)",
     },
     Rule {
+        id: "E012",
+        kind: RuleKind::Static,
+        title: "raw `std::sync::atomic`/`std::thread` paths appear only in the concurrency shim (`obs::model`), the checker crate, and tests; everything else routes through the shim",
+        paper: "repo policy (every atomic and thread must be schedulable by the interleaving checker under --cfg execmig_model)",
+    },
+    Rule {
+        id: "E013",
+        kind: RuleKind::Static,
+        title: "every atomic `Ordering::…` literal carries an `// ord:` justification comment naming its pairing",
+        paper: "repo policy (memory orderings are load-bearing; unjustified orderings are unreviewable)",
+    },
+    Rule {
         id: "I101",
         kind: RuleKind::Runtime,
         title: "affinity values stay within the saturating range of the configured bit width",

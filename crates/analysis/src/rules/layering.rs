@@ -5,7 +5,10 @@
 //! *trace* feature is a separate concern, rule E003), `check` — the
 //! differential reference model — a leaf beside `experiments` (it may
 //! see everything up to `machine`, and `experiments` may drive it),
-//! and the root facade / bench harness on top. `analysis` sits outside the DAG and
+//! and the root facade / bench harness on top. `model` — the
+//! interleaving checker — is a leaf below `obs`, which wraps it in the
+//! concurrency shim; nothing else may see it (tests reach it as a dev
+//! dependency, which sits outside the DAG). `analysis` sits outside the DAG and
 //! depends on nothing — it lints the policy, so it must not share
 //! code with what it lints. Third-party dependencies are banned
 //! outright: the reproduction is dependency-free by policy.
@@ -16,7 +19,8 @@ use crate::workspace::Workspace;
 
 /// crate name → the exact set of workspace crates it may depend on.
 const LAYERS: &[(&str, &[&str])] = &[
-    ("execmig-obs", &[]),
+    ("execmig-model", &[]),
+    ("execmig-obs", &["execmig-model"]),
     ("execmig-trace", &[]),
     ("execmig-cache", &["execmig-trace", "execmig-obs"]),
     (
@@ -128,6 +132,12 @@ pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
                 }
                 let dep = t.text.replace('_', "-");
                 if dep == krate.name || allow.contains(&dep.as_str()) {
+                    continue;
+                }
+                // Only identifiers naming a real workspace crate are
+                // layer references; `execmig_`-prefixed cfg flags
+                // (e.g. the mutation-gate cfgs) are not.
+                if allowed(&dep).is_none() {
                     continue;
                 }
                 diags.push(Diagnostic::new(

@@ -1,6 +1,7 @@
-//! The static rules (E001–E009). Each module covers one concern and
+//! The static rules (E001–E013). Each module covers one concern and
 //! pushes [`Diagnostic`]s tagged with catalog ids.
 
+pub mod concurrency;
 pub mod exhaustive;
 pub mod featuregate;
 pub mod hotpath;
@@ -18,5 +19,6 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     hotpath::check(ws, &mut diags);
     exhaustive::check(ws, &mut diags);
     hygiene::check(ws, &mut diags);
+    concurrency::check(ws, &mut diags);
     diags
 }

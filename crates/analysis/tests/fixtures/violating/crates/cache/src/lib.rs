@@ -4,6 +4,7 @@ use execmig_machine::Machine; // E002: names a crate above its layer
 use execmig_obs::Tracer; // fine: obs is a side layer
 
 pub mod cache;
+pub mod spin;
 
 /// Never serialised: E008.
 pub struct ProbeConfig {

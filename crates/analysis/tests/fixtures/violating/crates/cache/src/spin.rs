@@ -1,0 +1,40 @@
+//! Fixture: raw concurrency paths and unjustified orderings.
+
+use std::sync::atomic::{AtomicU64, Ordering}; // E012: raw atomic path
+use std::thread; // E012: raw thread path
+
+pub static COUNT: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    COUNT.fetch_add(1, Ordering::Relaxed) // E013: no justification
+}
+
+pub fn park() {
+    thread::yield_now();
+    // a stray comment that is not a justification
+    COUNT.store(0, Ordering::SeqCst); // E013: comment above lacks the tag
+}
+
+pub fn gated() -> u64 {
+    // ord: Acquire pairs with the Release store in publish(); clean.
+    COUNT.load(Ordering::Acquire)
+}
+
+pub fn inline_note() {
+    COUNT.store(1, Ordering::Release); // ord: publishes the flag; clean
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    #[test]
+    fn exempt_in_tests() {
+        // Raw atomics and bare orderings in test modules are exempt
+        // from E012/E013.
+        let a = AtomicU64::new(1);
+        thread::yield_now();
+        assert_eq!(a.load(Ordering::SeqCst), 1);
+    }
+}

@@ -37,6 +37,8 @@ fn golden_rule_counts() {
         ("E009", 2),
         ("E010", 2),
         ("E011", 1),
+        ("E012", 2),
+        ("E013", 2),
     ]
     .into_iter()
     .collect();
@@ -163,10 +165,27 @@ fn manual_to_json_impl_satisfies_e008() {
 }
 
 #[test]
+fn raw_concurrency_paths_and_bare_orderings_are_flagged() {
+    let diags = fixture_diags();
+    let e012 = by_rule(&diags, "E012");
+    assert_eq!(e012.len(), 2);
+    assert!(e012.iter().all(|d| d.path == "crates/cache/src/spin.rs"));
+    assert!(e012.iter().any(|d| d.message.contains("std::sync::atomic")));
+    assert!(e012.iter().any(|d| d.message.contains("std::thread")));
+    let e013 = by_rule(&diags, "E013");
+    assert_eq!(e013.len(), 2);
+    assert!(e013.iter().all(|d| d.path == "crates/cache/src/spin.rs"));
+    assert!(e013.iter().any(|d| d.message.contains("Ordering::Relaxed")));
+    assert!(e013.iter().any(|d| d.message.contains("Ordering::SeqCst")));
+    // The `// ord:`-annotated loads (same-line and comment-above) and
+    // the test module's raw atomics are exempt: exactly two of each.
+}
+
+#[test]
 fn json_report_is_stable() {
     let diags = fixture_diags();
     let json = diag::render_json(&diags);
-    assert!(json.starts_with("{\"count\":17,"));
+    assert!(json.starts_with("{\"count\":21,"));
     assert!(json.contains("\"rule\":\"E001\""));
     assert!(json.contains("\"rule\":\"E009\""));
 }

@@ -57,6 +57,7 @@ fn loader_sees_all_members() {
         "execmig-core",
         "execmig-experiments",
         "execmig-machine",
+        "execmig-model",
         "execmig-obs",
         "execmig-trace",
     ] {

@@ -21,12 +21,13 @@
 //! endpoints serve but stay empty (the binary says so and still
 //! exits 0).
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
 use execmig_experiments::table2;
 use execmig_experiments::telemetry::Telemetry;
+use execmig_obs::model::sync::{AtomicBool, Ordering};
+use execmig_obs::model::thread;
 use execmig_obs::{Hub, Json, Registry, TelemetryBudget};
 
 fn print_progress(hub: &Hub) {
@@ -71,16 +72,21 @@ fn main() {
     let hub = telemetry.hub().cloned().expect("serving implies a hub");
     let t0 = Instant::now();
     let stop = AtomicBool::new(false);
-    let rows = std::thread::scope(|scope| {
+    let rows = thread::scope(|scope| {
         let monitor = scope.spawn(|| {
+            // ord: Relaxed — standalone stop flag; the monitor join
+            // below is the synchronisation point.
             while !stop.load(Ordering::Relaxed) {
-                std::thread::sleep(Duration::from_millis(poll_ms));
+                thread::sleep(Duration::from_millis(poll_ms));
+                // ord: Relaxed — same stop flag, re-checked after the
+                // poll sleep.
                 if Hub::ACTIVE && !stop.load(Ordering::Relaxed) {
                     print_progress(&hub);
                 }
             }
         });
         let rows = table2::run_all_observed(instructions, threads, telemetry.hub());
+        // ord: Relaxed — flag only; monitor.join() synchronises.
         stop.store(true, Ordering::Relaxed);
         monitor.join().expect("monitor thread");
         rows
@@ -123,7 +129,7 @@ fn main() {
 
     if linger_s > 0 {
         eprintln!("obs_live: serving for {linger_s}s more (--linger)");
-        std::thread::sleep(Duration::from_secs(linger_s));
+        thread::sleep(Duration::from_secs(linger_s));
     }
     telemetry.finish();
     if !verdict.within {

@@ -2,8 +2,9 @@
 //! optional live-telemetry hub beats.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
 
+use execmig_obs::model::sync::Mutex;
+use execmig_obs::model::thread;
 use execmig_obs::{Beat, Hub, HubWorker, Json, Span, SpanSet, ToJson, WorkerState};
 
 /// Wall-clock telemetry of one [`parallel_map_timed`] run: per-task
@@ -159,7 +160,7 @@ where
     // buffers, in worker order.
     type Timings = Vec<(usize, u64, u64)>;
     let mut per_worker: Vec<(Vec<(usize, R)>, Timings)> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|w| {
                 let queue = &queue;
@@ -284,7 +285,7 @@ where
 
 /// A sensible worker count: the machine's parallelism, at most `cap`.
 pub fn default_threads(cap: usize) -> usize {
-    std::thread::available_parallelism()
+    thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(cap)

@@ -18,8 +18,7 @@
 //! inert; without the `trace` feature the endpoints still answer, with
 //! empty per-worker data (`Hub::ACTIVE` is false).
 
-use std::sync::{Arc, Mutex};
-
+use execmig_obs::model::sync::{Arc, Mutex};
 use execmig_obs::{Hub, HubConfig, MetricsProvider, Registry, TelemetryServer};
 
 use crate::report::arg_value;

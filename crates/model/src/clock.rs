@@ -1,0 +1,56 @@
+//! Vector clocks over a fixed thread universe.
+//!
+//! Every scheduling-relevant event in a model execution bumps the
+//! acting thread's own component; happens-before is the pointwise
+//! partial order. A store is in a thread's past iff the store's stamp
+//! (the writer's own component at store time) is `<=` the reader's
+//! clock entry for that writer.
+
+/// Upper bound on live threads per model execution. Explorations are
+/// exponential in thread count; eight is already far beyond what a
+/// bounded DFS can chew through in a test.
+pub(crate) const MAX_THREADS: usize = 8;
+
+/// A fixed-width vector clock. Component `i` counts thread `i`'s
+/// events that the owner has (transitively) synchronized with.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub(crate) struct VClock(pub(crate) [u64; MAX_THREADS]);
+
+impl VClock {
+    /// Pointwise maximum: after `a.join(&b)`, `a` dominates both.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            if *theirs > *mine {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// Advance thread `t`'s own component by one event.
+    pub(crate) fn bump(&mut self, t: usize) {
+        self.0[t] += 1;
+    }
+
+    /// Component for thread `t`.
+    pub(crate) fn get(&self, t: usize) -> u64 {
+        self.0[t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::default();
+        a.bump(0);
+        a.bump(0);
+        let mut b = VClock::default();
+        b.bump(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 0);
+    }
+}

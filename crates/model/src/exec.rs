@@ -1,0 +1,1026 @@
+//! The virtual scheduler and the bounded-DFS exploration driver.
+//!
+//! One *execution* runs the user closure with every shared-memory
+//! operation (atomic load/store/RMW, fence, mutex lock/unlock, thread
+//! spawn/join) routed through a single big `Mutex<ExecState>` plus a
+//! `Condvar`: exactly one model thread is ever runnable-and-running,
+//! so each execution is a deterministic function of the *trail* — the
+//! recorded sequence of nondeterministic choices (which thread runs
+//! next, which store a weak load reads). The explorer replays trails
+//! depth-first, flipping the last unexhausted choice, until the whole
+//! bounded space is covered or a violation (assertion failure inside
+//! the closure, deadlock, or livelock) is found.
+//!
+//! Memory model, per location:
+//!
+//! - stores form a *modification order* (the order they executed in
+//!   this interleaving); every store carries the writer's clock stamp
+//!   and a *message* view — the vector clock an acquiring reader joins;
+//! - a load may read any store not yet superseded for this thread: the
+//!   candidate floor is the newest store that happens-before the load
+//!   (stamp `<=` reader clock) or that this thread has already read or
+//!   written (per-thread coherence floor). Anything newer is a legal
+//!   *choice*, which is how `Relaxed` loads legally return stale data;
+//! - `Release` stores publish the writer's full clock as the message;
+//!   `Relaxed` stores publish only the clock captured by the writer's
+//!   last `fence(Release)`; RMWs additionally join the message of the
+//!   store they displace (release-sequence continuation);
+//! - `SeqCst` is approximated as AcqRel plus a global `sc_view` clock
+//!   joined both ways, which is enough to outlaw the classic
+//!   store-buffering `r1 == r2 == 0` outcome (see the litmus tests).
+//!
+//! Preemption bounding follows Musuvathi & Qadeer: context switches at
+//! points where the current thread could have continued are limited to
+//! `Config::preemption_bound`; forced switches (block, finish) are
+//! free. Small bounds find almost all real bugs at a fraction of the
+//! state space.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::clock::{VClock, MAX_THREADS};
+
+/// A panic payload, as `std::thread` reports it.
+pub(crate) type Payload = Box<dyn Any + Send + 'static>;
+
+/// What joining a model thread yields: `Err` carries the panic payload.
+pub(crate) type ThreadResult = Result<(), Payload>;
+
+/// Entry point closure for a spawned model thread (results travel via
+/// out-slots owned by the join handle, not through this return).
+pub(crate) type BoxedRun = Box<dyn FnOnce() + Send + 'static>;
+
+/// Sentinel panic payload used to unwind parked threads when an
+/// execution is torn down (deadlock, livelock, state-space abort).
+/// Swallowed by the thread wrappers; never observed by user code.
+struct Aborted;
+
+fn panic_aborted() -> ! {
+    std::panic::panic_any(Aborted)
+}
+
+fn payload_str(p: &Payload) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Exploration limits. `Default` is sized for unit-test-scale models:
+/// a couple of threads, a few dozen shared-memory operations each.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum *preemptive* context switches per execution (switches at
+    /// a point where the current thread could have continued). `None`
+    /// explores the full interleaving space. Forced switches — blocking
+    /// on a mutex or join, thread exit — are never counted.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored executions; exceeding it panics (the model
+    /// is too big, not wrong). Shrink the test or the bound instead.
+    pub max_executions: u64,
+    /// Per-execution cap on shared-memory operations; exceeding it is
+    /// reported as a violation (livelock: some loop is polling shared
+    /// state without bound, which a DFS can never exhaust).
+    pub max_steps: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: Some(2),
+            max_executions: 500_000,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// Summary of a completed exploration with no violation found.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Number of distinct executions (interleaving × weak-read choices)
+    /// explored.
+    pub executions: u64,
+}
+
+/// A found violation: the first failing execution, replayed with event
+/// logging to produce a human-readable trace.
+#[derive(Debug)]
+pub struct Violation {
+    /// The panic message / deadlock description of the failure.
+    pub message: String,
+    /// Shared-memory event log of the failing execution (tail).
+    pub trace: Vec<String>,
+    /// Executions explored up to and including the failing one.
+    pub executions: u64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "model checker violation (execution #{}): {}",
+            self.executions, self.message
+        )?;
+        let tail = 40usize;
+        let skip = self.trace.len().saturating_sub(tail);
+        if skip > 0 {
+            writeln!(f, "  … {skip} earlier events elided …")?;
+        }
+        for line in self.trace.iter().skip(skip) {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One recorded nondeterministic choice on the trail.
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    taken: usize,
+    options: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadSlot {
+    status: Status,
+    clock: VClock,
+    /// Clock captured at the last `fence(Release)`: the message view
+    /// subsequent `Relaxed` stores publish.
+    rel_fence: VClock,
+    /// Messages accumulated by `Relaxed` loads, cashed in by a later
+    /// `fence(Acquire)`.
+    acq_pending: VClock,
+    result: Option<ThreadResult>,
+}
+
+impl ThreadSlot {
+    fn with_clock(clock: VClock) -> ThreadSlot {
+        ThreadSlot {
+            status: Status::Runnable,
+            clock,
+            rel_fence: VClock::default(),
+            acq_pending: VClock::default(),
+            result: None,
+        }
+    }
+}
+
+/// One store in a location's modification order.
+struct Store {
+    value: u64,
+    /// Writer's own clock component at store time; visibility test is
+    /// `stamp <= reader.clock[writer]`.
+    stamp: u64,
+    writer: usize,
+    /// The view an acquiring reader joins when it reads this store.
+    msg: VClock,
+}
+
+struct Location {
+    stores: Vec<Store>,
+    /// Per-thread coherence floor: index of the newest store this
+    /// thread has read or written; it may never again read older.
+    read_floor: [usize; MAX_THREADS],
+}
+
+struct MutexSlot {
+    locked: bool,
+    /// Released-with view: the next locker joins it (lock/unlock are
+    /// acquire/release pairs).
+    msg: VClock,
+}
+
+struct ExecState {
+    threads: Vec<ThreadSlot>,
+    locs: Vec<Location>,
+    mutexes: Vec<MutexSlot>,
+    active: usize,
+    preemptions: usize,
+    steps: u64,
+    trail: Vec<Choice>,
+    pos: usize,
+    aborted: bool,
+    failure: Option<String>,
+    log: Option<Vec<String>>,
+    sc_view: VClock,
+}
+
+impl ExecState {
+    fn new(trail: Vec<Choice>, want_log: bool) -> ExecState {
+        let mut root = VClock::default();
+        root.bump(0);
+        ExecState {
+            threads: vec![ThreadSlot::with_clock(root)],
+            locs: Vec::new(),
+            mutexes: Vec::new(),
+            active: 0,
+            preemptions: 0,
+            steps: 0,
+            trail,
+            pos: 0,
+            aborted: false,
+            failure: None,
+            log: want_log.then(Vec::new),
+            sc_view: VClock::default(),
+        }
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn log_ev(&mut self, line: impl FnOnce() -> String) {
+        if let Some(log) = self.log.as_mut() {
+            log.push(line());
+            if log.len() > 2048 {
+                log.drain(..1024);
+            }
+        }
+    }
+}
+
+/// Handle to the currently running execution, stored in a thread-local
+/// so the `sync`/`thread` shims can find their scheduler.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Exec>,
+    pub(crate) tid: usize,
+    pub(crate) gen: u64,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The execution context of the calling OS thread, if it is a model
+/// thread of a live execution.
+pub(crate) fn current() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+struct CtxGuard;
+
+impl CtxGuard {
+    fn set(ctx: Ctx) -> CtxGuard {
+        CURRENT.with(|c| {
+            let mut slot = c.borrow_mut();
+            assert!(slot.is_none(), "nested model executions are not supported");
+            *slot = Some(ctx);
+        });
+        CtxGuard
+    }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.borrow_mut().take());
+    }
+}
+
+static NEXT_GEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// One model execution: the big lock serializing every model thread,
+/// plus the OS-thread handles the controller joins at teardown.
+pub(crate) struct Exec {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    config: Config,
+    pub(crate) gen: u64,
+    handles: Mutex<Vec<(usize, std::thread::JoinHandle<()>)>>,
+}
+
+impl Exec {
+    fn lock_state(&self) -> MutexGuard<'_, ExecState> {
+        // The state mutex is only poisoned by an internal checker bug;
+        // keep going so teardown can still drain threads.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Record (or replay) one nondeterministic choice with
+    /// `options >= 1` alternatives; returns the index taken.
+    fn decide(&self, st: &mut ExecState, options: usize) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        if st.pos < st.trail.len() {
+            let c = st.trail[st.pos];
+            assert_eq!(
+                c.options, options,
+                "model-internal: execution diverged from its trail (is the \
+                 closure deterministic apart from scheduling?)"
+            );
+            st.pos += 1;
+            c.taken
+        } else {
+            st.trail.push(Choice { taken: 0, options });
+            st.pos += 1;
+            0
+        }
+    }
+
+    fn abort_locked(&self, st: &mut ExecState, msg: String) {
+        st.aborted = true;
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+
+    fn wait_until_active(&self, mut st: MutexGuard<'_, ExecState>, me: usize) {
+        while st.active != me && !st.aborted {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let aborted = st.aborted;
+        drop(st);
+        if aborted {
+            panic_aborted();
+        }
+    }
+
+    /// Scheduling point before every shared-memory operation: the
+    /// explorer may preempt the calling thread here.
+    pub(crate) fn yield_op(&self, me: usize) {
+        let mut st = self.lock_state();
+        if st.aborted {
+            drop(st);
+            panic_aborted();
+        }
+        st.steps += 1;
+        if st.steps > self.config.max_steps {
+            let cap = self.config.max_steps;
+            self.abort_locked(
+                &mut st,
+                format!(
+                    "step budget of {cap} shared-memory operations exceeded: \
+                     a loop is polling shared state without bound (livelock); \
+                     model tests must make bounded progress"
+                ),
+            );
+            drop(st);
+            panic_aborted();
+        }
+        let runnable = st.runnable();
+        debug_assert!(runnable.contains(&me), "active thread not runnable");
+        if runnable.len() <= 1 {
+            return;
+        }
+        if self
+            .config
+            .preemption_bound
+            .is_some_and(|b| st.preemptions >= b)
+        {
+            return;
+        }
+        let mut options: Vec<usize> = Vec::with_capacity(runnable.len());
+        options.push(me);
+        options.extend(runnable.iter().copied().filter(|&t| t != me));
+        let k = self.decide(&mut st, options.len());
+        let pick = options[k];
+        if pick != me {
+            st.preemptions += 1;
+            st.active = pick;
+            st.log_ev(|| format!("t{me} preempted; t{pick} runs"));
+            self.cv.notify_all();
+            self.wait_until_active(st, me);
+        }
+    }
+
+    /// The calling thread just blocked (status already updated): hand
+    /// the CPU to some runnable thread, or declare deadlock.
+    fn switch_from_blocked(&self, mut st: MutexGuard<'_, ExecState>, me: usize) {
+        let runnable = st.runnable();
+        if runnable.is_empty() {
+            let shape: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| format!("t{i}:{:?}", t.status))
+                .collect();
+            self.abort_locked(
+                &mut st,
+                format!("deadlock: no runnable thread [{}]", shape.join(" ")),
+            );
+            drop(st);
+            panic_aborted();
+        }
+        let k = self.decide(&mut st, runnable.len());
+        st.active = runnable[k];
+        self.cv.notify_all();
+        self.wait_until_active(st, me);
+    }
+
+    pub(crate) fn record_failure(&self, p: &Payload) {
+        let mut st = self.lock_state();
+        if st.failure.is_none() {
+            st.failure = Some(payload_str(p));
+        }
+    }
+
+    fn finish_thread(&self, me: usize, result: Option<ThreadResult>) {
+        let mut st = self.lock_state();
+        st.threads[me].status = Status::Finished;
+        if let Some(r) = result {
+            st.threads[me].result = Some(r);
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedJoin(me) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        st.log_ev(|| format!("t{me} finished"));
+        if st.aborted {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable = st.runnable();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.active = usize::MAX;
+            } else {
+                let shape: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| format!("t{i}:{:?}", t.status))
+                    .collect();
+                self.abort_locked(
+                    &mut st,
+                    format!(
+                        "deadlock: t{me} exited leaving no runnable thread [{}]",
+                        shape.join(" ")
+                    ),
+                );
+            }
+            return;
+        }
+        let k = self.decide(&mut st, runnable.len());
+        st.active = runnable[k];
+        self.cv.notify_all();
+    }
+
+    // ---- threads -------------------------------------------------------
+
+    pub(crate) fn spawn_model(self: &Arc<Self>, parent: usize, f: BoxedRun) -> usize {
+        self.yield_op(parent);
+        let tid;
+        {
+            let mut st = self.lock_state();
+            tid = st.threads.len();
+            assert!(
+                tid < MAX_THREADS,
+                "execmig-model: at most {MAX_THREADS} threads per execution"
+            );
+            st.threads[parent].clock.bump(parent);
+            let clock = st.threads[parent].clock;
+            st.threads.push(ThreadSlot::with_clock(clock));
+            st.log_ev(|| format!("t{parent} spawns t{tid}"));
+        }
+        let exec = Arc::clone(self);
+        let gen = self.gen;
+        let handle = std::thread::Builder::new()
+            .name(format!("execmig-model-t{tid}"))
+            .spawn(move || {
+                let _guard = CtxGuard::set(Ctx {
+                    exec: Arc::clone(&exec),
+                    tid,
+                    gen,
+                });
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let st = exec.lock_state();
+                    exec.wait_until_active(st, tid);
+                    f();
+                }));
+                match outcome {
+                    Ok(()) => exec.finish_thread(tid, Some(Ok(()))),
+                    Err(p) => {
+                        if p.is::<Aborted>() {
+                            exec.finish_thread(tid, None);
+                        } else {
+                            exec.record_failure(&p);
+                            exec.finish_thread(tid, Some(Err(p)));
+                        }
+                    }
+                }
+            })
+            .expect("execmig-model: failed to spawn OS thread");
+        self.handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((tid, handle));
+        tid
+    }
+
+    pub(crate) fn join_model(&self, me: usize, target: usize) -> ThreadResult {
+        self.yield_op(me);
+        loop {
+            let mut st = self.lock_state();
+            if st.aborted {
+                drop(st);
+                panic_aborted();
+            }
+            if st.threads[target].status == Status::Finished {
+                match st.threads[target].result.take() {
+                    Some(r) => {
+                        let tclock = st.threads[target].clock;
+                        st.threads[me].clock.join(&tclock);
+                        st.log_ev(|| format!("t{me} joined t{target}"));
+                        return r;
+                    }
+                    None => {
+                        // Finished without a result only on the abort
+                        // path; tear this thread down too.
+                        drop(st);
+                        panic_aborted();
+                    }
+                }
+            }
+            st.threads[me].status = Status::BlockedJoin(target);
+            st.log_ev(|| format!("t{me} blocks joining t{target}"));
+            self.switch_from_blocked(st, me);
+        }
+    }
+
+    /// Join the raw OS threads behind the given model tids. Used by the
+    /// scope teardown when an execution aborts mid-unwind: borrowed
+    /// stack frames must outlive the threads that reference them.
+    pub(crate) fn os_join_tids(&self, tids: &[usize]) {
+        let taken: Vec<std::thread::JoinHandle<()>> = {
+            let mut g = self
+                .handles
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut keep = Vec::new();
+            let mut take = Vec::new();
+            for (t, h) in g.drain(..) {
+                if tids.contains(&t) {
+                    take.push(h);
+                } else {
+                    keep.push((t, h));
+                }
+            }
+            *g = keep;
+            take
+        };
+        for h in taken {
+            let _ = h.join();
+        }
+    }
+
+    // ---- locations -----------------------------------------------------
+
+    pub(crate) fn alloc_loc(&self, creator: usize, init: u64) -> usize {
+        let mut st = self.lock_state();
+        st.threads[creator].clock.bump(creator);
+        let clock = st.threads[creator].clock;
+        let id = st.locs.len();
+        st.locs.push(Location {
+            stores: vec![Store {
+                value: init,
+                stamp: clock.get(creator),
+                writer: creator,
+                msg: clock,
+            }],
+            read_floor: [0; MAX_THREADS],
+        });
+        id
+    }
+
+    pub(crate) fn alloc_mutex(&self, creator: usize) -> usize {
+        let mut st = self.lock_state();
+        let clock = st.threads[creator].clock;
+        let id = st.mutexes.len();
+        st.mutexes.push(MutexSlot {
+            locked: false,
+            msg: clock,
+        });
+        id
+    }
+
+    // ---- atomics -------------------------------------------------------
+
+    /// Indices of stores the calling thread may legally read: everything
+    /// at or above the coherence/happens-before floor.
+    fn readable_range(st: &ExecState, me: usize, loc: usize) -> (usize, usize) {
+        let clock = st.threads[me].clock;
+        let l = &st.locs[loc];
+        let mut floor = l.read_floor[me];
+        for (i, s) in l.stores.iter().enumerate() {
+            if i > floor && s.stamp <= clock.get(s.writer) {
+                floor = i;
+            }
+        }
+        (floor, l.stores.len())
+    }
+
+    pub(crate) fn op_load(&self, me: usize, loc: usize, ord: Ordering) -> u64 {
+        assert!(
+            matches!(
+                ord,
+                Ordering::Relaxed | Ordering::Acquire | Ordering::SeqCst
+            ),
+            "invalid atomic load ordering {ord:?}"
+        );
+        self.yield_op(me);
+        let mut st = self.lock_state();
+        if ord == Ordering::SeqCst {
+            let sc = st.sc_view;
+            st.threads[me].clock.join(&sc);
+        }
+        let (floor, n) = Self::readable_range(&st, me, loc);
+        let k = self.decide(&mut st, n - floor);
+        let idx = n - 1 - k;
+        let (value, msg) = {
+            let s = &st.locs[loc].stores[idx];
+            (s.value, s.msg)
+        };
+        if idx > st.locs[loc].read_floor[me] {
+            st.locs[loc].read_floor[me] = idx;
+        }
+        match ord {
+            Ordering::Acquire | Ordering::SeqCst => st.threads[me].clock.join(&msg),
+            _ => st.threads[me].acq_pending.join(&msg),
+        }
+        if ord == Ordering::SeqCst {
+            let c = st.threads[me].clock;
+            st.sc_view.join(&c);
+        }
+        st.log_ev(|| {
+            let stale = n - 1 - idx;
+            format!("t{me} load loc{loc} -> {value} ({ord:?}, {stale} behind newest)")
+        });
+        value
+    }
+
+    pub(crate) fn op_store(&self, me: usize, loc: usize, value: u64, ord: Ordering) {
+        assert!(
+            matches!(
+                ord,
+                Ordering::Relaxed | Ordering::Release | Ordering::SeqCst
+            ),
+            "invalid atomic store ordering {ord:?}"
+        );
+        self.yield_op(me);
+        let mut st = self.lock_state();
+        if ord == Ordering::SeqCst {
+            let sc = st.sc_view;
+            st.threads[me].clock.join(&sc);
+        }
+        st.threads[me].clock.bump(me);
+        let clock = st.threads[me].clock;
+        let msg = match ord {
+            Ordering::Release | Ordering::SeqCst => clock,
+            _ => st.threads[me].rel_fence,
+        };
+        st.locs[loc].stores.push(Store {
+            value,
+            stamp: clock.get(me),
+            writer: me,
+            msg,
+        });
+        let newest = st.locs[loc].stores.len() - 1;
+        st.locs[loc].read_floor[me] = newest;
+        if ord == Ordering::SeqCst {
+            st.sc_view.join(&clock);
+        }
+        st.log_ev(|| format!("t{me} store loc{loc} = {value} ({ord:?})"));
+    }
+
+    /// Read-modify-write: always acts on the newest store (RMWs read
+    /// the latest value in the modification order), continues the
+    /// release sequence of the store it displaces.
+    pub(crate) fn op_rmw(
+        &self,
+        me: usize,
+        loc: usize,
+        f: &mut dyn FnMut(u64) -> u64,
+        ord: Ordering,
+    ) -> u64 {
+        self.yield_op(me);
+        let mut st = self.lock_state();
+        if ord == Ordering::SeqCst {
+            let sc = st.sc_view;
+            st.threads[me].clock.join(&sc);
+        }
+        let (old, last_msg) = {
+            let stores = &st.locs[loc].stores;
+            let s = stores.last().expect("location has an initial store");
+            (s.value, s.msg)
+        };
+        match ord {
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst => {
+                st.threads[me].clock.join(&last_msg);
+            }
+            _ => st.threads[me].acq_pending.join(&last_msg),
+        }
+        st.threads[me].clock.bump(me);
+        let clock = st.threads[me].clock;
+        let mut msg = match ord {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => clock,
+            _ => st.threads[me].rel_fence,
+        };
+        msg.join(&last_msg);
+        let value = f(old);
+        st.locs[loc].stores.push(Store {
+            value,
+            stamp: clock.get(me),
+            writer: me,
+            msg,
+        });
+        let newest = st.locs[loc].stores.len() - 1;
+        st.locs[loc].read_floor[me] = newest;
+        if ord == Ordering::SeqCst {
+            st.sc_view.join(&clock);
+        }
+        st.log_ev(|| format!("t{me} rmw loc{loc}: {old} -> {value} ({ord:?})"));
+        old
+    }
+
+    /// Compare-exchange: reads the newest store (a strengthening — real
+    /// hardware may fail against a stale value, which only ever *adds*
+    /// failure paths the surrounding code must already tolerate).
+    pub(crate) fn op_cas(
+        &self,
+        me: usize,
+        loc: usize,
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.yield_op(me);
+        let mut st = self.lock_state();
+        if success == Ordering::SeqCst || failure == Ordering::SeqCst {
+            let sc = st.sc_view;
+            st.threads[me].clock.join(&sc);
+        }
+        let (old, last_msg, newest) = {
+            let stores = &st.locs[loc].stores;
+            let s = stores.last().expect("location has an initial store");
+            (s.value, s.msg, stores.len() - 1)
+        };
+        if old != expected {
+            match failure {
+                Ordering::Acquire | Ordering::SeqCst => st.threads[me].clock.join(&last_msg),
+                _ => st.threads[me].acq_pending.join(&last_msg),
+            }
+            if newest > st.locs[loc].read_floor[me] {
+                st.locs[loc].read_floor[me] = newest;
+            }
+            st.log_ev(|| format!("t{me} cas loc{loc} failed: found {old}, wanted {expected}"));
+            return Err(old);
+        }
+        match success {
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst => {
+                st.threads[me].clock.join(&last_msg);
+            }
+            _ => st.threads[me].acq_pending.join(&last_msg),
+        }
+        st.threads[me].clock.bump(me);
+        let clock = st.threads[me].clock;
+        let mut msg = match success {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => clock,
+            _ => st.threads[me].rel_fence,
+        };
+        msg.join(&last_msg);
+        st.locs[loc].stores.push(Store {
+            value: new,
+            stamp: clock.get(me),
+            writer: me,
+            msg,
+        });
+        let idx = st.locs[loc].stores.len() - 1;
+        st.locs[loc].read_floor[me] = idx;
+        if success == Ordering::SeqCst {
+            st.sc_view.join(&clock);
+        }
+        st.log_ev(|| format!("t{me} cas loc{loc}: {old} -> {new}"));
+        Ok(old)
+    }
+
+    pub(crate) fn op_fence(&self, me: usize, ord: Ordering) {
+        assert!(
+            !matches!(ord, Ordering::Relaxed),
+            "fence(Relaxed) is not a fence"
+        );
+        self.yield_op(me);
+        let mut st = self.lock_state();
+        if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+            let p = st.threads[me].acq_pending;
+            st.threads[me].clock.join(&p);
+        }
+        if ord == Ordering::SeqCst {
+            let sc = st.sc_view;
+            st.threads[me].clock.join(&sc);
+            let c = st.threads[me].clock;
+            st.sc_view.join(&c);
+        }
+        if matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+            let c = st.threads[me].clock;
+            st.threads[me].rel_fence = c;
+        }
+        st.log_ev(|| format!("t{me} fence({ord:?})"));
+    }
+
+    // ---- mutexes -------------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, me: usize, mid: usize) {
+        self.yield_op(me);
+        loop {
+            let mut st = self.lock_state();
+            if st.aborted {
+                drop(st);
+                panic_aborted();
+            }
+            if !st.mutexes[mid].locked {
+                st.mutexes[mid].locked = true;
+                let msg = st.mutexes[mid].msg;
+                st.threads[me].clock.join(&msg);
+                st.log_ev(|| format!("t{me} locks m{mid}"));
+                return;
+            }
+            st.threads[me].status = Status::BlockedMutex(mid);
+            st.log_ev(|| format!("t{me} blocks on m{mid}"));
+            self.switch_from_blocked(st, me);
+        }
+    }
+
+    /// Never a scheduling point and never panics: runs inside guard
+    /// drops, including drops during an abort unwind.
+    pub(crate) fn mutex_unlock(&self, me: usize, mid: usize) {
+        let mut st = self.lock_state();
+        st.threads[me].clock.bump(me);
+        let clock = st.threads[me].clock;
+        st.mutexes[mid].msg = clock;
+        st.mutexes[mid].locked = false;
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == Status::BlockedMutex(mid) {
+                st.threads[t].status = Status::Runnable;
+            }
+        }
+        st.log_ev(|| format!("t{me} unlocks m{mid}"));
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.lock_state().aborted
+    }
+}
+
+struct RunOutcome {
+    failure: Option<String>,
+    trail: Vec<Choice>,
+    log: Vec<String>,
+}
+
+fn run_one<F: Fn()>(config: &Config, f: &F, trail: Vec<Choice>, want_log: bool) -> RunOutcome {
+    let gen = NEXT_GEN.fetch_add(1, Ordering::Relaxed) + 1;
+    let exec = Arc::new(Exec {
+        state: Mutex::new(ExecState::new(trail, want_log)),
+        cv: Condvar::new(),
+        config: config.clone(),
+        gen,
+        handles: Mutex::new(Vec::new()),
+    });
+    let guard = CtxGuard::set(Ctx {
+        exec: Arc::clone(&exec),
+        tid: 0,
+        gen,
+    });
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(()) => exec.finish_thread(0, None),
+        Err(p) => {
+            if !p.is::<Aborted>() {
+                exec.record_failure(&p);
+            }
+            exec.finish_thread(0, None);
+        }
+    }
+    // Spawned threads may still be running (and spawning); drain until
+    // every OS thread has exited, so the next execution starts clean.
+    loop {
+        let hs: Vec<(usize, std::thread::JoinHandle<()>)> = {
+            let mut g = exec
+                .handles
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            g.drain(..).collect()
+        };
+        if hs.is_empty() {
+            break;
+        }
+        for (_tid, h) in hs {
+            let _ = h.join();
+        }
+    }
+    drop(guard);
+    let mut st = exec
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    RunOutcome {
+        failure: st.failure.take(),
+        trail: std::mem::take(&mut st.trail),
+        log: st.log.take().unwrap_or_default(),
+    }
+}
+
+/// Exhaustively explore `f` under `config`. Returns `Ok` with the
+/// execution count if every bounded interleaving (and every legal
+/// weak-memory read) passes, or `Err` with the first violation found,
+/// replayed to capture its shared-memory event trace.
+///
+/// `f` runs once per execution and must be deterministic apart from
+/// the scheduling the checker controls: construct all shared state
+/// inside the closure, never branch on wall-clock time, and keep every
+/// loop bounded (poll loops diverge under exhaustive scheduling).
+pub fn try_explore<F: Fn()>(config: Config, f: F) -> Result<Report, Box<Violation>> {
+    assert!(
+        current().is_none(),
+        "explore() may not be called from inside a model execution"
+    );
+    let mut trail: Vec<Choice> = Vec::new();
+    let mut executions: u64 = 0;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= config.max_executions,
+            "state space exceeds {} executions; shrink the model or lower \
+             the preemption bound",
+            config.max_executions
+        );
+        let out = run_one(&config, &f, trail, false);
+        trail = out.trail;
+        if let Some(message) = out.failure {
+            // Executions are deterministic in their trail: replaying the
+            // failing trail with logging on reproduces the failure and
+            // yields its event trace.
+            let replay = run_one(&config, &f, trail.clone(), true);
+            return Err(Box::new(Violation {
+                message,
+                trace: replay.log,
+                executions,
+            }));
+        }
+        loop {
+            match trail.last_mut() {
+                None => return Ok(Report { executions }),
+                Some(c) if c.taken + 1 < c.options => {
+                    c.taken += 1;
+                    break;
+                }
+                Some(_) => {
+                    let _ = trail.pop();
+                }
+            }
+        }
+    }
+}
+
+/// [`try_explore`] with [`Config::default`], panicking on violation.
+pub fn explore<F: Fn()>(f: F) -> Report {
+    explore_with(Config::default(), f)
+}
+
+/// [`try_explore`] that panics with the rendered violation (message
+/// plus event trace) — the convenient form for tests that expect the
+/// model to be clean.
+pub fn explore_with<F: Fn()>(config: Config, f: F) -> Report {
+    match try_explore(config, f) {
+        Ok(report) => report,
+        Err(violation) => panic!("{violation}"),
+    }
+}
+
+/// True while the calling thread belongs to an aborting execution;
+/// used by scope teardown to pick the non-scheduling join path.
+pub(crate) fn current_aborted() -> bool {
+    current().is_some_and(|ctx| ctx.exec.is_aborted())
+}
+
+/// Unwind with the teardown sentinel (scope teardown re-raises it
+/// after securing its borrowed frame).
+pub(crate) fn abort_unwind() -> ! {
+    panic_aborted()
+}

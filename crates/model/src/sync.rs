@@ -1,0 +1,277 @@
+//! Drop-in replacements for the `std::sync` primitives the lock-free
+//! layer uses. Outside a model execution they behave exactly like the
+//! std types they wrap; inside [`explore`](crate::explore) every
+//! operation is a scheduling point routed through the virtual
+//! scheduler, with weak-memory-faithful load semantics.
+//!
+//! The types register themselves with the live execution at
+//! construction time, so all shared state a model test exercises must
+//! be created *inside* the explore closure. Using a pre-existing
+//! atomic inside a model execution panics with a pointed message
+//! rather than silently escaping the checker.
+
+use std::sync::atomic::{
+    AtomicBool as StdAtomicBool, AtomicU64 as StdAtomicU64, AtomicUsize as StdAtomicUsize,
+};
+
+use crate::exec::{self, Ctx};
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::{Arc, LockResult, PoisonError};
+
+/// A registered model location: generation ties it to one execution.
+#[derive(Clone, Copy, Debug)]
+struct Loc {
+    gen: u64,
+    id: usize,
+}
+
+fn register_loc(init: u64) -> Option<Loc> {
+    exec::current().map(|ctx| Loc {
+        gen: ctx.gen,
+        id: ctx.exec.alloc_loc(ctx.tid, init),
+    })
+}
+
+/// Resolve the model route for an operation: `Some` inside a live
+/// execution (with the location id), `None` for plain std behavior.
+fn model_route(model: Option<Loc>, what: &str) -> Option<(Ctx, usize)> {
+    match (exec::current(), model) {
+        (Some(ctx), Some(loc)) => {
+            assert!(
+                ctx.gen == loc.gen,
+                "model {what} constructed in a different execution than it is \
+                 used in; create all shared state inside the explore() closure"
+            );
+            Some((ctx, loc.id))
+        }
+        (Some(_), None) => panic!(
+            "model {what} constructed outside the model execution but used \
+             inside it; create all shared state inside the explore() closure"
+        ),
+        _ => None,
+    }
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ident, $raw:ty, $to_u64:expr, $from_u64:expr) => {
+        /// Model-aware atomic: std semantics outside an execution,
+        /// scheduler-routed weak-memory semantics inside one.
+        #[derive(Debug)]
+        pub struct $name {
+            real: $std,
+            model: Option<Loc>,
+        }
+
+        impl $name {
+            /// Creates the atomic, registering it with the live model
+            /// execution if one is running on this thread.
+            pub fn new(v: $raw) -> $name {
+                $name {
+                    real: <$std>::new(v),
+                    model: register_loc(($to_u64)(v)),
+                }
+            }
+
+            /// Atomic load with the given ordering.
+            pub fn load(&self, ord: Ordering) -> $raw {
+                match model_route(self.model, "atomic") {
+                    Some((ctx, id)) => ($from_u64)(ctx.exec.op_load(ctx.tid, id, ord)),
+                    None => self.real.load(ord),
+                }
+            }
+
+            /// Atomic store with the given ordering.
+            pub fn store(&self, v: $raw, ord: Ordering) {
+                match model_route(self.model, "atomic") {
+                    Some((ctx, id)) => ctx.exec.op_store(ctx.tid, id, ($to_u64)(v), ord),
+                    None => self.real.store(v, ord),
+                }
+            }
+
+            /// Atomic swap; returns the previous value.
+            pub fn swap(&self, v: $raw, ord: Ordering) -> $raw {
+                match model_route(self.model, "atomic") {
+                    Some((ctx, id)) => {
+                        let word = ($to_u64)(v);
+                        ($from_u64)(ctx.exec.op_rmw(ctx.tid, id, &mut |_| word, ord))
+                    }
+                    None => self.real.swap(v, ord),
+                }
+            }
+
+            /// Atomic compare-exchange; `Ok(previous)` on success.
+            pub fn compare_exchange(
+                &self,
+                current: $raw,
+                new: $raw,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$raw, $raw> {
+                match model_route(self.model, "atomic") {
+                    Some((ctx, id)) => ctx
+                        .exec
+                        .op_cas(
+                            ctx.tid,
+                            id,
+                            ($to_u64)(current),
+                            ($to_u64)(new),
+                            success,
+                            failure,
+                        )
+                        .map($from_u64)
+                        .map_err($from_u64),
+                    None => self.real.compare_exchange(current, new, success, failure),
+                }
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicU64, StdAtomicU64, u64, |v: u64| v, |w: u64| w);
+model_atomic!(
+    AtomicUsize,
+    StdAtomicUsize,
+    usize,
+    |v: usize| v as u64,
+    |w: u64| w as usize
+);
+model_atomic!(
+    AtomicBool,
+    StdAtomicBool,
+    bool,
+    |v: bool| u64::from(v),
+    |w: u64| w != 0
+);
+
+macro_rules! atomic_arith {
+    ($name:ident, $raw:ty, $to_u64:expr, $from_u64:expr) => {
+        impl $name {
+            /// Atomic wrapping add; returns the previous value.
+            pub fn fetch_add(&self, v: $raw, ord: Ordering) -> $raw {
+                match model_route(self.model, "atomic") {
+                    Some((ctx, id)) => {
+                        let word = ($to_u64)(v);
+                        ($from_u64)(ctx.exec.op_rmw(
+                            ctx.tid,
+                            id,
+                            &mut |old| old.wrapping_add(word),
+                            ord,
+                        ))
+                    }
+                    None => self.real.fetch_add(v, ord),
+                }
+            }
+
+            /// Atomic wrapping subtract; returns the previous value.
+            pub fn fetch_sub(&self, v: $raw, ord: Ordering) -> $raw {
+                match model_route(self.model, "atomic") {
+                    Some((ctx, id)) => {
+                        let word = ($to_u64)(v);
+                        ($from_u64)(ctx.exec.op_rmw(
+                            ctx.tid,
+                            id,
+                            &mut |old| old.wrapping_sub(word),
+                            ord,
+                        ))
+                    }
+                    None => self.real.fetch_sub(v, ord),
+                }
+            }
+        }
+    };
+}
+
+atomic_arith!(AtomicU64, u64, |v: u64| v, |w: u64| w);
+atomic_arith!(AtomicUsize, usize, |v: usize| v as u64, |w: u64| w as usize);
+
+/// Model-aware memory fence: std `fence` outside an execution, a
+/// scheduler event updating the thread's fence views inside one.
+pub fn fence(ord: Ordering) {
+    match exec::current() {
+        Some(ctx) => ctx.exec.op_fence(ctx.tid, ord),
+        None => std::sync::atomic::fence(ord),
+    }
+}
+
+/// Model-aware mutex. The payload always lives in a real
+/// `std::sync::Mutex`; inside an execution the virtual scheduler
+/// decides blocking and lock-acquire/release ordering first, so the
+/// inner std lock is uncontended by construction. Poisoning semantics
+/// are inherited from std unchanged.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    model: Option<Loc>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex, registering it with the live model execution
+    /// if one is running on this thread.
+    pub fn new(t: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+            model: exec::current().map(|ctx| Loc {
+                gen: ctx.gen,
+                id: ctx.exec.alloc_mutex(ctx.tid),
+            }),
+        }
+    }
+
+    /// Acquires the mutex, blocking (in model executions: a scheduling
+    /// decision) until it is free.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let sched = model_route(self.model, "mutex").map(|(ctx, id)| {
+            ctx.exec.mutex_lock(ctx.tid, id);
+            (ctx, id)
+        });
+        match self.inner.lock() {
+            Ok(inner) => Ok(MutexGuard { inner, sched }),
+            Err(poison) => Err(PoisonError::new(MutexGuard {
+                inner: poison.into_inner(),
+                sched,
+            })),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    /// An unlocked mutex over `T::default()`, registered with the live
+    /// model execution like [`Mutex::new`].
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the scheduler-side lock
+/// before the std guard on drop.
+pub struct MutexGuard<'a, T> {
+    inner: std::sync::MutexGuard<'a, T>,
+    sched: Option<(Ctx, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((ctx, id)) = self.sched.take() {
+            ctx.exec.mutex_unlock(ctx.tid, id);
+        }
+    }
+}

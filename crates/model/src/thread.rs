@@ -1,0 +1,308 @@
+//! Model-aware mirror of the `std::thread` surface the repo uses:
+//! `spawn`, `Builder`, `scope`, `sleep`, `yield_now`,
+//! `available_parallelism`. Outside a model execution everything
+//! delegates to std; inside one, spawned closures become *model
+//! threads* scheduled by the checker (each backed by a real OS thread
+//! parked on the scheduler's condvar).
+//!
+//! Results travel through typed out-slots owned by the join handles,
+//! so scoped threads may return borrowed (non-`'static`) values just
+//! like `std::thread::scope`.
+
+use std::marker::PhantomData;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::exec::{self, Payload};
+
+type OutSlot<T> = Arc<Mutex<Option<T>>>;
+
+fn take_out<T>(out: &OutSlot<T>) -> T {
+    out.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+        .expect("thread finished without storing its result")
+}
+
+enum JoinImp {
+    Std(std::thread::JoinHandle<()>),
+    Model { tid: usize },
+}
+
+impl JoinImp {
+    fn join(self) -> Result<(), Payload> {
+        match self {
+            JoinImp::Std(h) => h.join(),
+            JoinImp::Model { tid } => {
+                let ctx =
+                    exec::current().expect("model thread handle joined outside its execution");
+                ctx.exec.join_model(ctx.tid, tid)
+            }
+        }
+    }
+}
+
+/// Handle to a spawned thread; [`join`](JoinHandle::join) returns the
+/// closure's value or its panic payload.
+pub struct JoinHandle<T> {
+    imp: JoinImp,
+    out: OutSlot<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish (a scheduling decision inside a
+    /// model execution).
+    pub fn join(self) -> std::thread::Result<T> {
+        self.imp.join().map(|()| take_out(&self.out))
+    }
+}
+
+fn spawn_imp<F, T>(name: Option<String>, f: F) -> std::io::Result<JoinHandle<T>>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let out: OutSlot<T> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let run = move || {
+        let v = f();
+        *out2
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+    };
+    let imp = match exec::current() {
+        Some(ctx) => JoinImp::Model {
+            tid: ctx.exec.spawn_model(ctx.tid, Box::new(run)),
+        },
+        None => {
+            let mut b = std::thread::Builder::new();
+            if let Some(n) = name {
+                b = b.name(n);
+            }
+            JoinImp::Std(b.spawn(run)?)
+        }
+    };
+    Ok(JoinHandle { imp, out })
+}
+
+/// Spawns a thread; model-scheduled inside an execution.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_imp(None, f).expect("failed to spawn thread")
+}
+
+/// Mirror of `std::thread::Builder` (the name is kept for std builds,
+/// informational only under the model).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Fresh builder with no name.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Names the thread (visible in std builds' panic messages).
+    #[must_use]
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the thread; errors only in std mode (OS resource limits).
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        spawn_imp(self.name, f)
+    }
+}
+
+/// In a model execution a sleep is just a scheduling point — model
+/// tests must never depend on wall-clock timing; outside, real sleep.
+pub fn sleep(dur: Duration) {
+    match exec::current() {
+        Some(ctx) => ctx.exec.yield_op(ctx.tid),
+        None => std::thread::sleep(dur),
+    }
+}
+
+/// Scheduling hint; a scheduling point inside a model execution.
+pub fn yield_now() {
+    match exec::current() {
+        Some(ctx) => ctx.exec.yield_op(ctx.tid),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Fixed at 4 inside a model execution (model tests must be
+/// deterministic across hosts); the real value outside.
+pub fn available_parallelism() -> std::io::Result<NonZeroUsize> {
+    match exec::current() {
+        Some(_) => Ok(NonZeroUsize::new(4).expect("4 is nonzero")),
+        None => std::thread::available_parallelism(),
+    }
+}
+
+enum ScopeSlot {
+    Done,
+    Std(std::thread::JoinHandle<()>),
+    Model { tid: usize },
+}
+
+/// Mirror of `std::thread::Scope`: threads spawned through it may
+/// borrow from the enclosing scope and are all joined before
+/// [`scope`] returns — on every path, including panics and model
+/// execution teardown.
+pub struct Scope<'scope, 'env: 'scope> {
+    slots: Mutex<Vec<ScopeSlot>>,
+    scope_marker: PhantomData<&'scope mut &'scope ()>,
+    env_marker: PhantomData<&'env mut &'env ()>,
+}
+
+/// Handle to a scoped thread; joining is optional (the scope joins
+/// leftovers itself).
+pub struct ScopedJoinHandle<'scope, T> {
+    slots: &'scope Mutex<Vec<ScopeSlot>>,
+    index: usize,
+    out: OutSlot<T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the scoped thread and returns its result or panic
+    /// payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        let slot = {
+            let mut g = self
+                .slots
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::replace(&mut g[self.index], ScopeSlot::Done)
+        };
+        let r: Result<(), Payload> = match slot {
+            ScopeSlot::Done => unreachable!("scoped thread joined twice"),
+            ScopeSlot::Std(h) => h.join(),
+            ScopeSlot::Model { tid } => JoinImp::Model { tid }.join(),
+        };
+        r.map(|()| take_out(&self.out))
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread that may borrow from the enclosing scope.
+    pub fn spawn<F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let out: OutSlot<T> = Arc::new(Mutex::new(None));
+        let out2 = Arc::clone(&out);
+        let run: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let v = f();
+            *out2
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+        });
+        // SAFETY: `scope` joins every spawned thread before returning,
+        // on the ok path, the panic path, and the model-abort path, so
+        // no `'scope` borrow outlives its referent. Same argument as
+        // `std::thread::scope`; the transmute only erases the lifetime.
+        let run: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(run) };
+        let slot = match exec::current() {
+            Some(ctx) => ScopeSlot::Model {
+                tid: ctx.exec.spawn_model(ctx.tid, run),
+            },
+            None => ScopeSlot::Std(std::thread::spawn(run)),
+        };
+        let mut g = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let index = g.len();
+        g.push(slot);
+        ScopedJoinHandle {
+            slots: &self.slots,
+            index,
+            out,
+        }
+    }
+}
+
+/// Mirror of `std::thread::scope`. Inside a model execution the
+/// spawned threads are model-scheduled; the scope still guarantees
+/// all of them have exited before it returns.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+{
+    let sc = Scope {
+        slots: Mutex::new(Vec::new()),
+        scope_marker: PhantomData,
+        env_marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&sc)));
+    let slots: Vec<ScopeSlot> = {
+        let mut g = sc
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        g.drain(..).collect()
+    };
+    let model_tids: Vec<usize> = slots
+        .iter()
+        .filter_map(|s| match s {
+            ScopeSlot::Model { tid } => Some(*tid),
+            _ => None,
+        })
+        .collect();
+    let mut child_panic: Option<Payload> = None;
+    for slot in slots {
+        match slot {
+            ScopeSlot::Done => {}
+            ScopeSlot::Std(h) => {
+                if let Err(p) = h.join() {
+                    child_panic.get_or_insert(p);
+                }
+            }
+            ScopeSlot::Model { tid } => {
+                if exec::current_aborted() {
+                    // The execution is tearing down: scheduler joins
+                    // would re-panic. Wait for the raw OS threads (they
+                    // all exit promptly once aborted) so no `'scope`
+                    // borrow outlives this frame, then re-raise.
+                    let ctx = exec::current().expect("aborted implies an execution");
+                    ctx.exec.os_join_tids(&model_tids);
+                    exec::abort_unwind();
+                }
+                match catch_unwind(AssertUnwindSafe(|| JoinImp::Model { tid }.join())) {
+                    Ok(Ok(())) => {}
+                    Ok(Err(p)) => {
+                        child_panic.get_or_insert(p);
+                    }
+                    Err(abort) => {
+                        let ctx = exec::current().expect("model join implies an execution");
+                        ctx.exec.os_join_tids(&model_tids);
+                        resume_unwind(abort);
+                    }
+                }
+            }
+        }
+    }
+    match result {
+        Err(p) => resume_unwind(p),
+        Ok(v) => {
+            if let Some(p) = child_panic {
+                resume_unwind(p);
+            }
+            v
+        }
+    }
+}

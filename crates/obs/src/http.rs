@@ -102,13 +102,24 @@ impl Request {
     }
 
     /// True when the client asked to close (or, on 1.0, didn't ask to
-    /// keep alive).
+    /// keep alive). `Connection` is a comma-separated list of
+    /// case-insensitive tokens (RFC 9110 §7.6.1): `close` anywhere in
+    /// the list wins, then `keep-alive`, then the version default.
     pub fn wants_close(&self) -> bool {
-        match self.header("connection") {
-            Some(v) if v.eq_ignore_ascii_case("close") => true,
-            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
-            _ => self.version == "1.0",
+        if let Some(v) = self.header("connection") {
+            let mut keep_alive = false;
+            for token in v.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    return true;
+                }
+                keep_alive |= token.eq_ignore_ascii_case("keep-alive");
+            }
+            if keep_alive {
+                return false;
+            }
         }
+        self.version == "1.0"
     }
 }
 
@@ -278,6 +289,33 @@ mod tests {
         assert!(old.wants_close(), "1.0 defaults to close");
         let oldka = parse_one(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
         assert!(!oldka.wants_close());
+    }
+
+    #[test]
+    fn header_names_and_tokens_are_case_insensitive() {
+        // RFC 9110: field names and Connection tokens compare
+        // case-insensitively, whatever the wire casing.
+        let r = parse_one(b"GET / HTTP/1.1\r\nCoNnEcTiOn: CLOSE\r\n\r\n");
+        assert_eq!(r.header("Connection"), Some("CLOSE"));
+        assert!(r.wants_close());
+        let r = parse_one(b"GET / HTTP/1.0\r\nCONNECTION: Keep-Alive\r\n\r\n");
+        assert!(!r.wants_close());
+        let r = parse_one(b"POST / HTTP/1.1\r\nCONTENT-LENGTH: 2\r\n\r\nok");
+        assert_eq!(r.body, b"ok");
+    }
+
+    #[test]
+    fn connection_token_lists_are_parsed() {
+        // Connection carries a token *list*; close anywhere wins.
+        let r = parse_one(b"GET / HTTP/1.1\r\nConnection: TE, Close\r\n\r\n");
+        assert!(r.wants_close());
+        let r = parse_one(b"GET / HTTP/1.0\r\nConnection: keep-alive, TE\r\n\r\n");
+        assert!(!r.wants_close());
+        // Unrelated tokens alone fall back to the version default.
+        let r = parse_one(b"GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n");
+        assert!(!r.wants_close());
+        let r = parse_one(b"GET / HTTP/1.0\r\nConnection: upgrade\r\n\r\n");
+        assert!(r.wants_close());
     }
 
     #[test]

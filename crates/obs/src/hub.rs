@@ -435,8 +435,7 @@ impl ToJson for HealthReport {
 #[cfg(feature = "trace")]
 mod real {
     use super::*;
-    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-    use std::sync::{Arc, Mutex};
+    use crate::model::sync::{Arc, AtomicBool, AtomicU64, Mutex, Ordering};
     use std::time::Instant;
 
     /// One worker's SPSC ring plus its producer-side counters.
@@ -563,6 +562,8 @@ mod real {
         /// (and out-of-range indices) get `None`.
         pub fn worker(&self, index: usize) -> Option<HubWorker> {
             let slot = self.inner.slots.get(index)?;
+            // ord: AcqRel swap pairs claim attempts with each other so
+            // exactly one caller wins the slot.
             if slot.claimed.swap(true, Ordering::AcqRel) {
                 return None;
             }
@@ -587,13 +588,21 @@ mod real {
                 // (the producer publishes head with Release after the
                 // slot words), and advancing tail with Release hands
                 // the slots back to the producer.
+                // ord: Acquire pairs with the producer's Release head
+                // store in publish(): everything below `head` is fully
+                // written before we read it.
                 let head = slot.head.load(Ordering::Acquire);
+                // ord: Relaxed — tail is consumer-owned (we are the only
+                // writer, under the agg mutex).
                 let tail = slot.tail.load(Ordering::Relaxed);
                 let cap = slot.ring.len() as u64;
                 let mut words = [0u64; BEAT_WORDS];
                 for seq in tail..head {
                     let cell = &slot.ring[(seq % cap) as usize];
                     for (w, c) in words.iter_mut().zip(cell.iter()) {
+                        // ord: Relaxed — covered by the Acquire head
+                        // load above (the producer wrote these before
+                        // its Release head bump).
                         *w = c.load(Ordering::Relaxed);
                     }
                     let (beat, beat_seq, wall_us) = Beat::decode(&words);
@@ -611,8 +620,13 @@ mod real {
                     row.beats += 1;
                 }
                 if head != tail {
+                    // ord: Release pairs with the producer's Acquire
+                    // tail load in publish(): the cells are ours no
+                    // longer once tail advances.
                     slot.tail.store(head, Ordering::Release);
                 }
+                // ord: Relaxed — a monotone counter read for display;
+                // exact only after the producer is joined.
                 row.dropped = slot.dropped.load(Ordering::Relaxed);
             }
             let now_us = self.now_us();
@@ -648,9 +662,11 @@ mod real {
             let mut dropped = 0u64;
             let mut publish_ns = 0u64;
             for slot in &self.inner.slots {
-                beats += slot.published.load(Ordering::Relaxed);
-                dropped += slot.dropped.load(Ordering::Relaxed);
-                publish_ns += slot.publish_ns.load(Ordering::Relaxed);
+                // Monotone self-accounting counters: readers tolerate
+                // slight lag, exact once the producer thread is joined.
+                beats += slot.published.load(Ordering::Relaxed); // ord: monotone counter
+                dropped += slot.dropped.load(Ordering::Relaxed); // ord: monotone counter
+                publish_ns += slot.publish_ns.load(Ordering::Relaxed); // ord: monotone counter
             }
             HubOverhead {
                 beats,
@@ -705,22 +721,52 @@ mod real {
         pub fn publish(&self, beat: Beat) {
             let t0 = Instant::now();
             let slot = &self.inner.slots[self.index];
+            // ord: Relaxed — head is producer-owned; we are its only
+            // writer.
             let head = slot.head.load(Ordering::Relaxed);
+            // ord: Acquire pairs with the consumer's Release tail store
+            // in snapshot(): once tail covers a cell, the consumer is
+            // done reading it and we may overwrite.
             let tail = slot.tail.load(Ordering::Acquire);
             let cap = slot.ring.len() as u64;
             if head.wrapping_sub(tail) >= cap {
+                // ord: Relaxed — monotone drop counter, producer-owned.
                 slot.dropped.fetch_add(1, Ordering::Relaxed);
             } else {
                 let wall_us = self.inner.started.elapsed().as_micros() as u64;
                 let words = beat.encode(head, wall_us);
                 let cell = &slot.ring[(head % cap) as usize];
+                #[cfg(not(execmig_torn_slot))]
                 for (c, w) in cell.iter().zip(words) {
+                    // ord: Relaxed — the Release head store below
+                    // publishes these words.
                     c.store(w, Ordering::Relaxed);
                 }
+                #[cfg(execmig_torn_slot)]
+                for (i, (c, w)) in cell.iter().zip(words).enumerate() {
+                    if i != 3 {
+                        // ord: Relaxed — deliberately torn mutation:
+                        // word 3 lands after the head bump below.
+                        c.store(w, Ordering::Relaxed);
+                    }
+                }
+                #[cfg(not(execmig_weak_head))]
+                // ord: Release publishes the slot words written above;
+                // pairs with the Acquire head load in snapshot().
                 slot.head.store(head + 1, Ordering::Release);
+                #[cfg(execmig_weak_head)]
+                // ord: Relaxed — deliberately broken mutation: without
+                // the release pairing, snapshot() may read torn slots.
+                slot.head.store(head + 1, Ordering::Relaxed);
+                #[cfg(execmig_torn_slot)]
+                // ord: Relaxed — deliberately broken mutation: the
+                // instructions word is published after the head bump.
+                cell[3].store(words[3], Ordering::Relaxed);
+                // ord: Relaxed — monotone self-accounting counter.
                 slot.published.fetch_add(1, Ordering::Relaxed);
             }
             slot.publish_ns
+                // ord: Relaxed — monotone self-accounting counter.
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
@@ -938,6 +984,7 @@ mod tests {
     }
 
     #[cfg(feature = "trace")]
+    #[cfg_attr(miri, ignore = "unbounded spin publishers are too slow under miri")]
     #[test]
     fn concurrent_publish_and_merge() {
         use std::sync::atomic::{AtomicBool, Ordering};

@@ -26,6 +26,10 @@
 //!   response writer (no third-party deps).
 //! - [`serve`]: the [`TelemetryServer`] serving `/metrics`,
 //!   `/progress`, and `/healthz` over the in-tree HTTP stack.
+//! - [`model`]: the concurrency shim — std `sync`/`thread` re-exports
+//!   in real builds, the `execmig-model` interleaving checker under
+//!   `--cfg execmig_model`. All thread/atomic use in the workspace
+//!   goes through it (lint E012).
 //!
 //! Serialisation rides on the in-tree [`Json`]/[`ToJson`] model (the
 //! workspace builds offline, with no external crates); structs derive
@@ -39,6 +43,7 @@ pub mod hub;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod model;
 pub mod profile;
 pub mod ring;
 pub mod serve;

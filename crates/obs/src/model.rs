@@ -1,0 +1,60 @@
+//! The concurrency shim: the single sanctioned gateway to threads and
+//! atomics for the whole workspace (lint E012 rejects raw
+//! `std::sync::atomic`/`std::thread` imports everywhere else).
+//!
+//! In ordinary builds [`sync`] and [`thread`] are plain re-exports of
+//! the std primitives — zero cost, zero behavior change. Under
+//! `RUSTFLAGS="--cfg execmig_model"` the same names resolve to the
+//! `execmig-model` wrappers instead, which route every atomic
+//! load/store/RMW, fence, mutex acquisition, and thread spawn/join
+//! through the bounded interleaving model checker
+//! ([`execmig_model::explore`]): the checker exhaustively explores
+//! thread schedules *and* every stale value a `Relaxed` load may
+//! legally return under the memory model. Outside an `explore()`
+//! closure the wrappers fall back to std behavior, so a model-cfg
+//! build still runs the ordinary test suite unchanged.
+//!
+//! The price of the dual personality: code importing from this module
+//! must stay on the API surface the two modes share (the std subset
+//! the wrappers mirror — no `try_lock`, no `fetch_or`, …). CI builds
+//! both modes, so drift fails fast. See DESIGN.md §11 for the
+//! discipline and how to write a model test.
+
+/// `Arc`, `Mutex`, the atomics, `Ordering`, and `fence` —
+/// std-compatible, model-aware under `--cfg execmig_model`.
+#[cfg(not(execmig_model))]
+pub mod sync {
+    pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    pub use std::sync::{Arc, LockResult, Mutex, MutexGuard, PoisonError};
+}
+
+/// `Arc`, `Mutex`, the atomics, `Ordering`, and `fence` — routed
+/// through the interleaving model checker.
+#[cfg(execmig_model)]
+pub mod sync {
+    pub use execmig_model::sync::{
+        fence, Arc, AtomicBool, AtomicU64, AtomicUsize, LockResult, Mutex, MutexGuard, Ordering,
+        PoisonError,
+    };
+}
+
+/// `spawn`, `scope`, `Builder`, `sleep`, `yield_now`,
+/// `available_parallelism` — std-compatible, model-aware under
+/// `--cfg execmig_model`.
+#[cfg(not(execmig_model))]
+pub mod thread {
+    pub use std::thread::{
+        available_parallelism, scope, sleep, spawn, yield_now, Builder, JoinHandle, Scope,
+        ScopedJoinHandle,
+    };
+}
+
+/// `spawn`, `scope`, `Builder`, and friends — routed through the
+/// interleaving model checker.
+#[cfg(execmig_model)]
+pub mod thread {
+    pub use execmig_model::thread::{
+        available_parallelism, scope, sleep, spawn, yield_now, Builder, JoinHandle, Scope,
+        ScopedJoinHandle,
+    };
+}

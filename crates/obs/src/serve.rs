@@ -21,9 +21,10 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use crate::model::sync::{Arc, AtomicBool, AtomicUsize, Ordering};
+use crate::model::thread;
 
 use crate::export::{to_prometheus, PromKind, PromWriter};
 use crate::http::{parse_request, response, HttpError};
@@ -40,12 +41,36 @@ const READ_TIMEOUT: Duration = Duration::from_secs(2);
 /// Accept-loop poll interval while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
+/// Ceiling on concurrently served connections for [`start`]
+/// (`TelemetryServer::start`); connections over the cap get an
+/// immediate `503` and a close instead of a handler thread.
+const DEFAULT_MAX_CONNECTIONS: usize = 64;
+
+/// How long a keep-alive connection may sit idle *between* requests
+/// before the handler closes it. Keeps idle scrapers from pinning
+/// connection-cap slots forever.
+const KEEPALIVE_IDLE: Duration = Duration::from_secs(10);
+
 /// A running telemetry server. Dropping it (or calling
 /// [`shutdown`](TelemetryServer::shutdown)) stops the accept loop.
 pub struct TelemetryServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+/// One live connection's slot under the server's connection cap;
+/// dropping it releases the slot on every handler exit path.
+struct ConnPermit {
+    active: Arc<AtomicUsize>,
+}
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        // ord: AcqRel pairs with the accept loop's AcqRel fetch_add so
+        // cap checks never double-count a freed slot.
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl std::fmt::Debug for TelemetryServer {
@@ -58,38 +83,76 @@ impl std::fmt::Debug for TelemetryServer {
 
 impl TelemetryServer {
     /// Binds `addr` (e.g. `127.0.0.1:9163`, port 0 for ephemeral) and
-    /// starts serving `hub` and `metrics` in the background.
+    /// starts serving `hub` and `metrics` in the background, capped at
+    /// [`DEFAULT_MAX_CONNECTIONS`] concurrent connections.
     pub fn start(
         addr: impl ToSocketAddrs,
         hub: Hub,
         metrics: MetricsProvider,
+    ) -> std::io::Result<TelemetryServer> {
+        TelemetryServer::start_with_limit(addr, hub, metrics, DEFAULT_MAX_CONNECTIONS)
+    }
+
+    /// [`start`](TelemetryServer::start) with an explicit connection
+    /// cap: at most `max_connections` handler threads live at once, and
+    /// connections past the cap are answered `503` and closed without
+    /// spawning anything.
+    pub fn start_with_limit(
+        addr: impl ToSocketAddrs,
+        hub: Hub,
+        metrics: MetricsProvider,
+        max_connections: usize,
     ) -> std::io::Result<TelemetryServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = Arc::clone(&stop);
-        let accept_thread = std::thread::Builder::new()
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept_thread = thread::Builder::new()
             .name("telemetry-accept".to_string())
             .spawn(move || {
+                // ord: Relaxed — stop is a standalone flag; the join in
+                // shutdown() is the synchronisation point.
                 while !accept_stop.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _peer)) => {
+                        Ok((mut stream, _peer)) => {
+                            // ord: AcqRel pairs the cap check with
+                            // ConnPermit's AcqRel release.
+                            if active.fetch_add(1, Ordering::AcqRel) >= max_connections {
+                                active.fetch_sub(1, Ordering::AcqRel); // ord: undo, same pairing
+                                let body = Json::object()
+                                    .field("error", "connection capacity reached".to_string())
+                                    .compact();
+                                let _ = stream.write_all(&response(
+                                    503,
+                                    "application/json",
+                                    &body,
+                                    false,
+                                ));
+                                continue;
+                            }
+                            let permit = ConnPermit {
+                                active: Arc::clone(&active),
+                            };
                             let hub = hub.clone();
                             let metrics = Arc::clone(&metrics);
                             let conn_stop = Arc::clone(&accept_stop);
-                            // Detached: bounded by read timeouts and the
-                            // stop flag, not by join.
-                            let _ = std::thread::Builder::new()
+                            // Detached: bounded by read timeouts, the
+                            // idle deadline, and the stop flag, not by
+                            // join. A failed spawn drops the closure —
+                            // and with it the permit.
+                            let _ = thread::Builder::new()
                                 .name("telemetry-conn".to_string())
                                 .spawn(move || {
+                                    let _permit = permit;
                                     handle_connection(stream, &hub, &metrics, &conn_stop)
                                 });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(ACCEPT_POLL);
+                            thread::sleep(ACCEPT_POLL);
                         }
-                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                        Err(_) => thread::sleep(ACCEPT_POLL),
                     }
                 }
             })?;
@@ -116,6 +179,7 @@ impl TelemetryServer {
     }
 
     fn stop_and_join(&mut self) {
+        // ord: Relaxed — flag only; the join below synchronises.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
@@ -138,9 +202,13 @@ fn handle_connection(
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    let mut last_request = Instant::now();
     loop {
         match parse_request(&buf) {
             Ok(Some((request, consumed))) => {
+                last_request = Instant::now();
+                // ord: Relaxed — best-effort shutdown check; the accept
+                // thread join is the synchronisation point.
                 let keep_alive = !request.wants_close() && !stop.load(Ordering::Relaxed);
                 let bytes = route(&request.method, request.path(), hub, metrics, keep_alive);
                 if stream.write_all(&bytes).is_err() {
@@ -155,6 +223,7 @@ fn handle_connection(
                 continue;
             }
             Ok(None) => {
+                // ord: Relaxed — best-effort shutdown check.
                 if stop.load(Ordering::Relaxed) {
                     return;
                 }
@@ -170,6 +239,12 @@ fn handle_connection(
                         // Idle past the timeout with a partial request
                         // buffered means the peer stalled; drop it.
                         if !buf.is_empty() {
+                            return;
+                        }
+                        // An idle keep-alive connection holds a cap
+                        // slot; evict it once it overstays the idle
+                        // allowance.
+                        if last_request.elapsed() >= KEEPALIVE_IDLE {
                             return;
                         }
                     }

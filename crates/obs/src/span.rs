@@ -4,7 +4,7 @@
 //! `execmig-experiments::runner::parallel_map`) and summarises per-task
 //! durations and per-thread utilisation.
 
-use std::sync::Mutex;
+use crate::model::sync::Mutex;
 use std::time::Instant;
 
 use crate::json::{Json, ToJson};
