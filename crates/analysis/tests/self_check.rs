@@ -64,3 +64,29 @@ fn loader_sees_all_members() {
         assert!(ws.get(name).is_some(), "loader missed crate {name}");
     }
 }
+
+/// The coherence seam added in PR 8 must sit inside the layering
+/// gate's scan set — if the walker ever skipped these files, E002
+/// would silently stop policing the protocol modules' layer
+/// references (and E007/E008 their counters).
+#[test]
+fn layering_scan_covers_the_coherence_modules() {
+    let ws = execmig_analysis::workspace::load(workspace_root()).expect("workspace loads");
+    for (krate, rel) in [
+        ("execmig-machine", "crates/machine/src/coherence.rs"),
+        ("execmig-machine", "crates/machine/src/invariants.rs"),
+        ("execmig-check", "crates/check/src/refmachine.rs"),
+        (
+            "execmig-experiments",
+            "crates/experiments/src/coherence_compare.rs",
+        ),
+    ] {
+        let c = ws
+            .get(krate)
+            .unwrap_or_else(|| panic!("loader missed crate {krate}"));
+        assert!(
+            c.files.iter().any(|f| f.rel == rel),
+            "{krate} scan missed {rel}; the layering rules no longer cover it"
+        );
+    }
+}

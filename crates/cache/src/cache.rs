@@ -1,5 +1,5 @@
 //! Set-associative and skewed-associative caches with per-line
-//! valid/modified state.
+//! valid/modified/shared state.
 //!
 //! The §4.2 machine uses 16 KB 4-way set-associative L1 caches and
 //! 512 KB 4-way *skewed*-associative L2 caches (Bodin & Seznec); the
@@ -142,16 +142,21 @@ pub enum FillIfAbsent {
 const MODIFIED: u64 = 1;
 /// Valid bit of [`Frame::meta`].
 const VALID: u64 = 2;
+/// Shared bit of [`Frame::meta`]: set by coherence protocols that
+/// track sharers (MESI's S, Dragon's Sc/Sm); migration-mode coherence
+/// never sets it, keeping its meta words bit-identical to the
+/// pre-shared-bit encoding.
+const SHARED: u64 = 4;
 /// LRU timestamp occupies the remaining high bits of [`Frame::meta`].
-const LAST_SHIFT: u32 = 2;
+const LAST_SHIFT: u32 = 3;
 
 /// One 16-byte cache frame: the line tag plus packed metadata.
 ///
-/// `meta` packs `(last << 2) | valid << 1 | modified`. The packing makes
-/// `meta` itself the LRU victim-selection key: invalid frames are zeroed
-/// (key 0, always preferred), and among valid frames the timestamps are
-/// distinct (the clock ticks once per use), so the low valid/modified
-/// bits never reorder two candidates.
+/// `meta` packs `(last << 3) | shared << 2 | valid << 1 | modified`.
+/// The packing makes `meta` itself the LRU victim-selection key:
+/// invalid frames are zeroed (key 0, always preferred), and among valid
+/// frames the timestamps are distinct (the clock ticks once per use),
+/// so the low shared/valid/modified bits never reorder two candidates.
 #[derive(Debug, Clone, Copy)]
 struct Frame {
     line: u64,
@@ -167,6 +172,11 @@ impl Frame {
     #[inline(always)]
     fn is_modified(&self) -> bool {
         self.meta & MODIFIED != 0
+    }
+
+    #[inline(always)]
+    fn is_shared(&self) -> bool {
+        self.meta & SHARED != 0
     }
 }
 
@@ -330,15 +340,22 @@ impl Cache {
         }
     }
 
-    /// Refreshes recency of the frame at `f` and ORs in `modified`.
+    /// Refreshes recency of the frame at `f` and ORs in `modified`;
+    /// the shared bit is preserved (a local use does not change who
+    /// else holds the line).
     #[inline(always)]
     fn touch(&mut self, f: usize, modified: bool) {
         self.clock += 1;
         let frame = &mut self.frames[f];
-        frame.meta = (self.clock << LAST_SHIFT) | VALID | (frame.meta & MODIFIED) | modified as u64;
+        frame.meta = (self.clock << LAST_SHIFT)
+            | VALID
+            | (frame.meta & (MODIFIED | SHARED))
+            | modified as u64;
     }
 
     /// Replaces the frame at `f` with `raw`, returning the eviction.
+    /// The new line starts unshared; protocols that fill in a shared
+    /// state call [`Cache::set_shared`] afterwards.
     #[inline(always)]
     fn replace(&mut self, f: usize, raw: u64, modified: bool) -> Option<Evicted> {
         let old = self.frames[f];
@@ -388,6 +405,25 @@ impl Cache {
             Some(f) => {
                 let frame = &mut self.frames[f];
                 frame.meta = (frame.meta & !MODIFIED) | modified as u64;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The shared bit of `line`, if resident.
+    pub fn shared(&self, line: LineAddr) -> Option<bool> {
+        self.find(line.raw()).map(|f| self.frames[f].is_shared())
+    }
+
+    /// Sets or clears the shared bit of `line` if resident; returns
+    /// whether the line was found. Does not update recency (coherence
+    /// traffic is not a local use).
+    pub fn set_shared(&mut self, line: LineAddr, shared: bool) -> bool {
+        match self.find(line.raw()) {
+            Some(f) => {
+                let frame = &mut self.frames[f];
+                frame.meta = (frame.meta & !SHARED) | if shared { SHARED } else { 0 };
                 true
             }
             None => false,
@@ -469,6 +505,16 @@ impl Cache {
             .filter(|f| f.is_valid())
             .map(|f| (LineAddr::new(f.line), f.is_modified()))
     }
+
+    /// Iterates over resident lines as `(line, modified, shared)`
+    /// triples, in no particular order — the full per-line coherence
+    /// state an invariant kernel or contents differ needs.
+    pub fn resident_states(&self) -> impl Iterator<Item = (LineAddr, bool, bool)> + '_ {
+        self.frames
+            .iter()
+            .filter(|f| f.is_valid())
+            .map(|f| (LineAddr::new(f.line), f.is_modified(), f.is_shared()))
+    }
 }
 
 #[cfg(test)]
@@ -549,6 +595,79 @@ mod tests {
         assert_eq!(c.modified(LineAddr::new(3)), Some(true));
         assert!(c.set_modified(LineAddr::new(3), false));
         assert_eq!(c.modified(LineAddr::new(3)), Some(false));
+    }
+
+    #[test]
+    fn shared_bit_round_trips_and_survives_uses() {
+        let mut c = small();
+        assert!(!c.set_shared(LineAddr::new(3), true), "absent line");
+        c.fill(LineAddr::new(3), false);
+        assert_eq!(c.shared(LineAddr::new(3)), Some(false));
+        assert!(c.set_shared(LineAddr::new(3), true));
+        assert_eq!(c.shared(LineAddr::new(3)), Some(true));
+        // A local use (lookup) refreshes recency but must not clear
+        // the shared bit, and modified-bit traffic must not either.
+        assert!(c.lookup(LineAddr::new(3)));
+        assert_eq!(c.shared(LineAddr::new(3)), Some(true));
+        assert!(c.set_modified(LineAddr::new(3), true));
+        assert_eq!(c.shared(LineAddr::new(3)), Some(true));
+        assert_eq!(c.modified(LineAddr::new(3)), Some(true));
+        assert!(c.set_shared(LineAddr::new(3), false));
+        assert_eq!(c.shared(LineAddr::new(3)), Some(false));
+        assert_eq!(c.modified(LineAddr::new(3)), Some(true));
+    }
+
+    #[test]
+    fn refill_after_eviction_starts_unshared() {
+        let mut c = small();
+        // Set 0 holds lines 0 and 8; mark 0 shared, then evict it.
+        c.fill(LineAddr::new(0), false);
+        c.set_shared(LineAddr::new(0), true);
+        c.fill(LineAddr::new(8), false);
+        c.fill(LineAddr::new(16), false); // evicts 0 (LRU)
+        assert!(!c.contains(LineAddr::new(0)));
+        // Refill into the same frame: the stale shared bit is gone.
+        c.fill(LineAddr::new(0), false);
+        assert_eq!(c.shared(LineAddr::new(0)), Some(false));
+    }
+
+    #[test]
+    fn shared_bit_does_not_perturb_lru_order() {
+        // Identical reference streams with and without shared-bit
+        // traffic must evict identically: the timestamp dominates the
+        // packed key.
+        let mut plain = small();
+        let mut marked = small();
+        let mut x = 1u64;
+        for i in 0..5_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let line = LineAddr::new(x % 40);
+            let a = plain.fill(line, false);
+            let b = marked.fill(line, false);
+            marked.set_shared(line, x.is_multiple_of(3));
+            assert_eq!(a, b, "step {i}");
+        }
+        let mut a: Vec<u64> = plain.resident_lines().map(|(l, _)| l.raw()).collect();
+        let mut b: Vec<u64> = marked.resident_lines().map(|(l, _)| l.raw()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resident_states_reports_all_three_bits() {
+        let mut c = small();
+        c.fill(LineAddr::new(1), false);
+        c.fill(LineAddr::new(2), true);
+        c.set_shared(LineAddr::new(2), true);
+        let mut states: Vec<(u64, bool, bool)> = c
+            .resident_states()
+            .map(|(l, m, s)| (l.raw(), m, s))
+            .collect();
+        states.sort_unstable();
+        assert_eq!(states, vec![(1, false, false), (2, true, true)]);
     }
 
     #[test]

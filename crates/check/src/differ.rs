@@ -81,7 +81,7 @@ impl fmt::Display for DivergenceReport {
 /// Per-`MachineStats` observable list, shared by the per-step and the
 /// end-of-run comparison.
 fn stats_diffs(m: &MachineStats, r: &MachineStats, out: &mut Vec<FieldDiff>) {
-    let pairs: [(&str, u64, u64); 21] = [
+    let pairs: [(&str, u64, u64); 24] = [
         ("stats.instructions", m.instructions, r.instructions),
         ("stats.accesses", m.accesses, r.accesses),
         ("stats.ifetches", m.ifetches, r.ifetches),
@@ -107,6 +107,17 @@ fn stats_diffs(m: &MachineStats, r: &MachineStats, out: &mut Vec<FieldDiff>) {
         ),
         ("stats.prefetch_fills", m.prefetch_fills, r.prefetch_fills),
         ("stats.l3_misses", m.l3_misses, r.l3_misses),
+        ("stats.invalidations", m.invalidations, r.invalidations),
+        (
+            "stats.coherence_updates",
+            m.coherence_updates,
+            r.coherence_updates,
+        ),
+        (
+            "stats.coherence_bus_bytes",
+            m.coherence_bus_bytes,
+            r.coherence_bus_bytes,
+        ),
         ("bus.reg_bytes", m.bus.reg_bytes, r.bus.reg_bytes),
         ("bus.store_bytes", m.bus.store_bytes, r.bus.store_bytes),
         ("bus.branch_bytes", m.bus.branch_bytes, r.bus.branch_bytes),
@@ -227,9 +238,9 @@ impl Lockstep {
     }
 
     /// End-of-run deep comparison: per-step observables *plus* cache
-    /// contents (occupancy, modified counts, and the resident-line
-    /// sets of every level). Returns a report attributed to the last
-    /// processed step.
+    /// contents (occupancy and the resident-line sets of every level,
+    /// including per-line modified and shared bits). Returns a report
+    /// attributed to the last processed step.
     pub fn final_check(&self) -> Option<DivergenceReport> {
         let mut diffs = self.observable_diffs();
         self.contents_diffs(&mut diffs);
@@ -356,10 +367,14 @@ impl Lockstep {
                 i128::from(fast.occupancy()),
                 i128::from(naive.occupancy()),
             );
-            let mut a: Vec<(u64, bool)> =
-                fast.resident_lines().map(|(l, m)| (l.raw(), m)).collect();
-            let mut b: Vec<(u64, bool)> =
-                naive.resident_lines().map(|(l, m)| (l.raw(), m)).collect();
+            let mut a: Vec<(u64, bool, bool)> = fast
+                .resident_states()
+                .map(|(l, m, s)| (l.raw(), m, s))
+                .collect();
+            let mut b: Vec<(u64, bool, bool)> = naive
+                .resident_states()
+                .map(|(l, m, s)| (l.raw(), m, s))
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             push_diff(
@@ -527,5 +542,28 @@ reference state:
             .or_else(|| lockstep.final_check());
         assert!(report.is_none(), "diverged:\n{}", report.unwrap());
         assert!(lockstep.steps() > 0);
+    }
+
+    #[test]
+    fn lockstep_agrees_under_every_protocol() {
+        use execmig_machine::Protocol;
+        use execmig_trace::gen::CircularWorkload;
+        for protocol in Protocol::ALL {
+            let config = MachineConfig {
+                protocol,
+                ..MachineConfig::four_core_migration()
+            };
+            let mut lockstep = Lockstep::new(config);
+            let mut w = CircularWorkload::new(2048);
+            let report = lockstep
+                .run_workload(&mut w, 50_000)
+                .or_else(|| lockstep.final_check());
+            assert!(
+                report.is_none(),
+                "{} diverged:\n{}",
+                protocol.as_str(),
+                report.unwrap()
+            );
+        }
     }
 }

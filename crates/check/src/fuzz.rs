@@ -10,7 +10,7 @@
 use std::io::{Read, Write};
 
 use execmig_core::{ControllerConfig, Sampler, TableConfig};
-use execmig_machine::{CacheGeometry, MachineConfig, PrefetchConfig};
+use execmig_machine::{CacheGeometry, MachineConfig, PrefetchConfig, Protocol};
 use execmig_trace::{Access, AccessKind, Addr, Rng, TraceIoResult, TraceReader, TraceWriter};
 
 use crate::differ::{DivergenceReport, Lockstep, TraceStep};
@@ -267,6 +267,26 @@ pub fn stress_configs() -> Vec<(String, MachineConfig)> {
             ..configs[0].1.clone()
         },
     ));
+    // The bus protocols, over the most stressful geometries: the
+    // controller stays configured (migrations are what spread copies
+    // across L2s and make coherence traffic fire), only the L2
+    // protocol changes.
+    for protocol in [Protocol::Mesi, Protocol::Dragon] {
+        configs.push((
+            format!("tiny-4core-{}", protocol.as_str()),
+            MachineConfig {
+                protocol,
+                ..configs[0].1.clone()
+            },
+        ));
+        configs.push((
+            format!("tiny-4core-prefetch-l3-{}", protocol.as_str()),
+            MachineConfig {
+                protocol,
+                ..configs[4].1.clone()
+            },
+        ));
+    }
     configs
 }
 

@@ -42,6 +42,9 @@ struct RefFrame {
     line: u64,
     valid: bool,
     modified: bool,
+    /// Coherence shared bit (MESI `S`, Dragon `Sc`/`Sm`); never set by
+    /// migration mode. A use preserves it; a refill starts unshared.
+    shared: bool,
     /// Recency timestamp; larger = more recently used. The shared clock
     /// ticks once per use (touch or replace), so timestamps of valid
     /// frames are distinct and LRU ties cannot arise among them.
@@ -52,6 +55,7 @@ const EMPTY: RefFrame = RefFrame {
     line: 0,
     valid: false,
     modified: false,
+    shared: false,
     last: 0,
 };
 
@@ -177,6 +181,7 @@ impl RefCache {
             line: raw,
             valid: true,
             modified,
+            shared: false,
             last: self.clock,
         };
         evicted
@@ -211,6 +216,24 @@ impl RefCache {
         match self.find(line.raw()) {
             Some(f) => {
                 self.frames[f].modified = modified;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The shared bit of `line`, if resident; no state change.
+    pub fn shared(&self, line: LineAddr) -> Option<bool> {
+        self.find(line.raw()).map(|f| self.frames[f].shared)
+    }
+
+    /// Sets or clears the shared bit of `line` if resident; returns
+    /// whether the line was found. Coherence traffic is not a local
+    /// use: no recency update.
+    pub fn set_shared(&mut self, line: LineAddr, shared: bool) -> bool {
+        match self.find(line.raw()) {
+            Some(f) => {
+                self.frames[f].shared = shared;
                 true
             }
             None => false,
@@ -257,6 +280,20 @@ impl RefCache {
         Some(self.replace(victim, raw, modified))
     }
 
+    /// Invalidates `line` if resident, returning its identity and
+    /// modified bit (a coherence kill, e.g. MESI `BusRdX`/`BusUpgr`).
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<RefEvicted> {
+        self.find(line.raw()).map(|f| {
+            let frame = &mut self.frames[f];
+            let evicted = RefEvicted {
+                line: LineAddr::new(frame.line),
+                modified: frame.modified,
+            };
+            *frame = EMPTY;
+            evicted
+        })
+    }
+
     /// Number of valid lines, by full scan.
     pub fn occupancy(&self) -> u64 {
         self.frames.iter().filter(|f| f.valid).count() as u64
@@ -273,6 +310,15 @@ impl RefCache {
             .iter()
             .filter(|f| f.valid)
             .map(|f| (LineAddr::new(f.line), f.modified))
+    }
+
+    /// Resident lines with full coherence state `(line, modified,
+    /// shared)`, in unspecified order.
+    pub fn resident_states(&self) -> impl Iterator<Item = (LineAddr, bool, bool)> + '_ {
+        self.frames
+            .iter()
+            .filter(|f| f.valid)
+            .map(|f| (LineAddr::new(f.line), f.modified, f.shared))
     }
 }
 
@@ -305,7 +351,7 @@ mod tests {
                     .wrapping_add(1442695040888963407);
                 let line = LineAddr::new((x >> 33) % 300);
                 let m = x & 1 == 0;
-                match (x >> 8) % 6 {
+                match (x >> 8) % 9 {
                     0 => assert_eq!(fast.lookup(line), naive.lookup(line), "lookup step {i}"),
                     1 => {
                         let a = fast.access(line, m);
@@ -344,12 +390,29 @@ mod tests {
                         naive.set_modified(line, m),
                         "set_modified step {i}"
                     ),
+                    5 => assert_eq!(
+                        fast.set_shared(line, m),
+                        naive.set_shared(line, m),
+                        "set_shared step {i}"
+                    ),
+                    6 => assert_eq!(fast.shared(line), naive.shared(line), "shared step {i}"),
+                    7 => assert_eq!(
+                        fast.invalidate(line).map(|e| (e.line, e.modified)),
+                        naive.invalidate(line).map(|e| (e.line, e.modified)),
+                        "invalidate step {i}"
+                    ),
                     _ => assert_eq!(fast.modified(line), naive.modified(line), "probe step {i}"),
                 }
                 assert_eq!(fast.occupancy(), naive.occupancy(), "occupancy step {i}");
             }
-            let mut a: Vec<_> = fast.resident_lines().map(|(l, m)| (l.raw(), m)).collect();
-            let mut b: Vec<_> = naive.resident_lines().map(|(l, m)| (l.raw(), m)).collect();
+            let mut a: Vec<_> = fast
+                .resident_states()
+                .map(|(l, m, s)| (l.raw(), m, s))
+                .collect();
+            let mut b: Vec<_> = naive
+                .resident_states()
+                .map(|(l, m, s)| (l.raw(), m, s))
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "final contents for {config:?}");

@@ -6,11 +6,15 @@
 //! modified-bit ownership protocol (§2.2: a modified remote copy is
 //! forwarded L2-to-L2 with a simultaneous L3 write-back; a clean remote
 //! copy "cannot be forwarded" and is re-fetched from L3), the update
-//! bus, sequential prefetch (§6) and the migration controller. It
-//! shares only [`MachineConfig`] and the trace types with
-//! `execmig_machine` — the caches are the fully-scanned
-//! [`RefCache`](crate::refcache::RefCache), the controller is the
-//! literal [`RefController`](crate::refcore::RefController).
+//! bus, sequential prefetch (§6) and the migration controller. The
+//! MESI and Dragon coherence backends of `execmig_machine::coherence`
+//! are restated here too, as explicit per-transaction scans (`BusRd`,
+//! `BusRdX`/`BusUpgr`, `BusUpd`) selected by the configured
+//! [`Protocol`]. It shares only [`MachineConfig`] (including the
+//! protocol selector) and the trace types with `execmig_machine` — the
+//! caches are the fully-scanned [`RefCache`](crate::refcache::RefCache),
+//! the controller is the literal
+//! [`RefController`](crate::refcore::RefController).
 //!
 //! [`MachineStats`] is reused as the *output record* the two
 //! implementations are compared in: it is a plain bundle of counters
@@ -19,11 +23,18 @@
 
 use execmig_core::ControllerConfig;
 use execmig_machine::bus::UpdateBusStats;
-use execmig_machine::{MachineConfig, MachineStats, UpdateBusConfig};
+use execmig_machine::{MachineConfig, MachineStats, Protocol, UpdateBusConfig};
 use execmig_trace::{AccessKind, LineAddr, LineSize, Workload};
 
 use crate::refcache::RefCache;
 use crate::refcore::RefController;
+
+/// Address/control bytes of one coherence bus transaction — the same
+/// modelled-hardware constant the optimized machine bakes in
+/// (re-stated, not imported).
+const ADDR_BYTES: u64 = 8;
+/// Data bytes of one Dragon `BusUpd` word (re-stated, not imported).
+const UPDATE_WORD_BYTES: u64 = 8;
 
 /// Restated update-bus accounting (§2.3): per-mille retire-mix rates
 /// applied with exact fixed-point remainders, each retired broadcast
@@ -60,6 +71,7 @@ pub struct RefMachine {
     cores: usize,
     line: LineSize,
     prefetch_degree: u64,
+    protocol: Protocol,
     il1: RefCache,
     dl1: RefCache,
     l2: Vec<RefCache>,
@@ -85,6 +97,7 @@ impl RefMachine {
             cores: config.cores,
             line,
             prefetch_degree: config.prefetch.map_or(0, |p| u64::from(p.degree)),
+            protocol: config.protocol,
             il1: RefCache::new(config.il1.to_cache_config(config.line_bytes)),
             dl1: RefCache::new(config.dl1.to_cache_config(config.line_bytes)),
             l2: (0..config.cores)
@@ -221,16 +234,32 @@ impl RefMachine {
                 break;
             };
             let next = LineAddr::new(raw);
-            // A modified remote copy makes the L3 data stale: skip.
-            let remote_modified = (0..self.cores)
-                .any(|c| c != self.active && self.l2[c].modified(next) == Some(true));
-            if remote_modified {
+            // Prefetches are bus-free: under migration mode a modified
+            // remote copy makes the L3 data stale (skip); the bus
+            // protocols may only fill an exclusive copy, so any remote
+            // copy at all blocks the prefetch.
+            let blocked = match self.protocol {
+                Protocol::MigrationMode => (0..self.cores)
+                    .any(|c| c != self.active && self.l2[c].modified(next) == Some(true)),
+                Protocol::Mesi | Protocol::Dragon => {
+                    (0..self.cores).any(|c| c != self.active && self.l2[c].contains(next))
+                }
+            };
+            if blocked {
                 continue;
             }
             if let Some(evicted) = self.l2[self.active].fill_if_absent(next, false) {
                 self.stats.prefetch_fills += 1;
-                if evicted.is_some_and(|e| e.modified) {
-                    self.stats.l3_writebacks += 1;
+                if let Some(e) = evicted {
+                    if e.modified {
+                        // A modified prefetch victim is written back
+                        // and installed into the finite L3, exactly
+                        // like a demand-fill victim.
+                        self.stats.l3_writebacks += 1;
+                        if let Some(l3) = &mut self.l3 {
+                            l3.fill(e.line, true);
+                        }
+                    }
                 }
             }
         }
@@ -240,16 +269,24 @@ impl RefMachine {
         self.stats.l2_accesses += 1;
         let l2_hit = self.l2[self.active].lookup(line);
         if l2_hit {
-            self.l2[self.active].set_modified(line, true);
+            match self.protocol {
+                Protocol::MigrationMode => {
+                    self.l2[self.active].set_modified(line, true);
+                }
+                Protocol::Mesi => self.mesi_write_hit(line),
+                Protocol::Dragon => self.dragon_write_hit(line),
+            }
         } else {
             self.stats.l2_misses += 1;
             self.serve_l2_miss(line, true);
         }
-        // §2.3 store broadcast: inactive copies are refreshed, their
-        // modified bits reset — at most one modified copy chip-wide.
-        for c in 0..self.cores {
-            if c != self.active && self.l2[c].set_modified(line, false) {
-                self.stats.store_broadcast_updates += 1;
+        if self.protocol == Protocol::MigrationMode {
+            // §2.3 store broadcast: inactive copies are refreshed, their
+            // modified bits reset — at most one modified copy chip-wide.
+            for c in 0..self.cores {
+                if c != self.active && self.l2[c].set_modified(line, false) {
+                    self.stats.store_broadcast_updates += 1;
+                }
             }
         }
         if was_l1_request {
@@ -260,6 +297,39 @@ impl RefMachine {
     }
 
     fn serve_l2_miss(&mut self, line: LineAddr, store: bool) {
+        match self.protocol {
+            Protocol::MigrationMode => self.migration_serve_miss(line, store),
+            Protocol::Mesi => self.mesi_serve_miss(line, store),
+            Protocol::Dragon => self.dragon_serve_miss(line, store),
+        }
+    }
+
+    /// The "no cache supplied it" path: fetch from L3, going to memory
+    /// past a finite L3 that misses.
+    fn fetch_from_l3(&mut self, line: LineAddr) {
+        self.stats.l3_fetches += 1;
+        if let Some(l3) = &mut self.l3 {
+            if !l3.lookup(line) {
+                self.stats.l3_misses += 1;
+                l3.fill(line, false);
+            }
+        }
+    }
+
+    /// Fills `line` into the active L2; a modified victim is written
+    /// back and installed into the finite L3.
+    fn fill_active(&mut self, line: LineAddr, modified: bool) {
+        if let Some(evicted) = self.l2[self.active].fill(line, modified) {
+            if evicted.modified {
+                self.stats.l3_writebacks += 1;
+                if let Some(l3) = &mut self.l3 {
+                    l3.fill(evicted.line, true);
+                }
+            }
+        }
+    }
+
+    fn migration_serve_miss(&mut self, line: LineAddr, store: bool) {
         let mut forwarded = false;
         for c in 0..self.cores {
             if c != self.active && self.l2[c].modified(line) == Some(true) {
@@ -273,21 +343,159 @@ impl RefMachine {
             }
         }
         if !forwarded {
-            self.stats.l3_fetches += 1;
-            if let Some(l3) = &mut self.l3 {
-                if !l3.lookup(line) {
-                    self.stats.l3_misses += 1;
-                    l3.fill(line, false);
+            self.fetch_from_l3(line);
+        }
+        self.fill_active(line, store);
+    }
+
+    /// MESI `BusRdX` (write miss) / `BusRd` (read miss), as literal
+    /// per-core scans.
+    fn mesi_serve_miss(&mut self, line: LineAddr, store: bool) {
+        if store {
+            // BusRdX: every remote copy dies. A modified owner flushes
+            // (forward + write-back + L3 install); failing that, the
+            // first clean copy supplies the data (Illinois).
+            let mut supplied = false;
+            let mut killed = 0u64;
+            for c in 0..self.cores {
+                if c == self.active {
+                    continue;
                 }
+                if let Some(ev) = self.l2[c].invalidate(line) {
+                    killed += 1;
+                    if ev.modified {
+                        self.stats.l2_to_l2_forwards += 1;
+                        self.stats.l3_writebacks += 1;
+                        if let Some(l3) = &mut self.l3 {
+                            l3.fill(line, true);
+                        }
+                        supplied = true;
+                    } else if !supplied {
+                        self.stats.l2_to_l2_forwards += 1;
+                        supplied = true;
+                    }
+                }
+            }
+            if killed > 0 {
+                self.stats.invalidations += killed;
+                self.stats.coherence_bus_bytes += ADDR_BYTES;
+            }
+            if !supplied {
+                self.fetch_from_l3(line);
+            }
+            // The requester ends in M: modified, unshared.
+            self.fill_active(line, true);
+        } else {
+            // BusRd: a modified owner does M→S with a flush; otherwise
+            // the first clean copy supplies the data (Illinois). Every
+            // surviving copy — including the new one — becomes S.
+            let mut supplied = false;
+            let mut any_copy = false;
+            for c in 0..self.cores {
+                if c == self.active || !self.l2[c].contains(line) {
+                    continue;
+                }
+                any_copy = true;
+                if self.l2[c].modified(line) == Some(true) {
+                    self.l2[c].set_modified(line, false);
+                    self.stats.l2_to_l2_forwards += 1;
+                    self.stats.l3_writebacks += 1;
+                    if let Some(l3) = &mut self.l3 {
+                        l3.fill(line, true);
+                    }
+                    supplied = true;
+                } else if !supplied {
+                    self.stats.l2_to_l2_forwards += 1;
+                    supplied = true;
+                }
+                self.l2[c].set_shared(line, true);
+            }
+            if !supplied {
+                self.fetch_from_l3(line);
+            }
+            self.fill_active(line, false);
+            // S if anyone else holds it, E otherwise.
+            self.l2[self.active].set_shared(line, any_copy);
+        }
+    }
+
+    /// MESI write hit: `BusUpgr` from S (the writer believes the line
+    /// is shared, so the upgrade goes on the bus even if every sharer
+    /// has since been silently evicted); E→M and M→M are silent.
+    fn mesi_write_hit(&mut self, line: LineAddr) {
+        if self.l2[self.active].shared(line) == Some(true) {
+            self.stats.coherence_bus_bytes += ADDR_BYTES;
+            for c in 0..self.cores {
+                if c != self.active && self.l2[c].invalidate(line).is_some() {
+                    self.stats.invalidations += 1;
+                }
+            }
+            self.l2[self.active].set_shared(line, false);
+        }
+        self.l2[self.active].set_modified(line, true);
+    }
+
+    /// Dragon `BusRd`: a dirty owner (M or Sm) supplies the line and
+    /// stays dirty-shared — no memory write-back. A write miss chains a
+    /// `BusUpd` when sharers remain.
+    fn dragon_serve_miss(&mut self, line: LineAddr, store: bool) {
+        let mut supplied = false;
+        let mut any_copy = false;
+        for c in 0..self.cores {
+            if c == self.active || !self.l2[c].contains(line) {
+                continue;
+            }
+            any_copy = true;
+            if !supplied && self.l2[c].modified(line) == Some(true) {
+                self.stats.l2_to_l2_forwards += 1;
+                supplied = true;
+            }
+            self.l2[c].set_shared(line, true);
+        }
+        if !supplied {
+            self.fetch_from_l3(line);
+        }
+        self.fill_active(line, false);
+        self.l2[self.active].set_shared(line, any_copy);
+        if store {
+            if any_copy {
+                self.dragon_bus_update(line);
+            } else {
+                self.l2[self.active].set_modified(line, true);
             }
         }
-        if let Some(evicted) = self.l2[self.active].fill(line, store) {
-            if evicted.modified {
-                self.stats.l3_writebacks += 1;
-                if let Some(l3) = &mut self.l3 {
-                    l3.fill(evicted.line, true);
-                }
+    }
+
+    /// Dragon write hit: shared lines broadcast a `BusUpd`; E→M and
+    /// M→M are silent.
+    fn dragon_write_hit(&mut self, line: LineAddr) {
+        if self.l2[self.active].shared(line) == Some(true) {
+            self.dragon_bus_update(line);
+        } else {
+            self.l2[self.active].set_modified(line, true);
+        }
+    }
+
+    /// Dragon `BusUpd`: remote copies snarf the written word (a remote
+    /// owner degrades Sm→Sc); the writer ends Sm if a sharer remains, M
+    /// otherwise.
+    fn dragon_bus_update(&mut self, line: LineAddr) {
+        let mut sharers = false;
+        for c in 0..self.cores {
+            if c == self.active || !self.l2[c].contains(line) {
+                continue;
             }
+            self.l2[c].set_modified(line, false);
+            self.l2[c].set_shared(line, true);
+            self.stats.coherence_updates += 1;
+            sharers = true;
+        }
+        self.l2[self.active].set_modified(line, true);
+        if sharers {
+            self.stats.coherence_bus_bytes += ADDR_BYTES + UPDATE_WORD_BYTES;
+            self.l2[self.active].set_shared(line, true);
+        } else {
+            self.l2[self.active].set_shared(line, false);
         }
     }
 

@@ -14,7 +14,12 @@
 //!
 //! Usage: `differ [--suite] [--fuzz N] [--seed S] [--budget INSTR]
 //!                 [--accesses N] [--replay FILE] [--config NAME]
-//!                 [--repro-dir DIR]`
+//!                 [--protocol migration|mesi|dragon] [--repro-dir DIR]`
+//!
+//! `--protocol` selects the L2 coherence backend: the suite lockstep
+//! runs the paper machine under it, and fuzz/replay rounds keep only
+//! the stress configurations using it (default: suite under migration
+//! mode, fuzz/replay against every configuration).
 //!
 //! Exits 0 when every comparison matches, 1 on any divergence, 2 on
 //! usage errors.
@@ -22,24 +27,28 @@
 use execmig_check::fuzz::{diverges, generate, shrink, stress_configs, write_repro, FuzzConfig};
 use execmig_check::Lockstep;
 use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
-use execmig_machine::MachineConfig;
+use execmig_machine::{MachineConfig, Protocol};
 use execmig_trace::suite;
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::Path;
 use std::process::exit;
 
-fn suite_lockstep(budget: u64) -> bool {
+fn suite_lockstep(budget: u64, protocol: Protocol) -> bool {
     let mut clean = true;
     for name in suite::names() {
         let mut workload = suite::by_name(name).expect("suite name");
-        let mut lockstep = Lockstep::new(MachineConfig::four_core_migration());
+        let mut lockstep = Lockstep::new(MachineConfig {
+            protocol,
+            ..MachineConfig::four_core_migration()
+        });
         let report = lockstep
             .run_workload(&mut *workload, budget)
             .or_else(|| lockstep.final_check());
         match report {
             None => println!(
-                "suite {name:>8}: ok ({} steps, {} migrations)",
+                "suite {name:>8} [{}]: ok ({} steps, {} migrations)",
+                protocol.as_str(),
                 lockstep.steps(),
                 lockstep.machine().stats().migrations
             ),
@@ -53,11 +62,19 @@ fn suite_lockstep(budget: u64) -> bool {
     clean
 }
 
-fn fuzz_round(fuzz: &FuzzConfig, config_filter: Option<&str>, repro_dir: &Path) -> bool {
+fn fuzz_round(
+    fuzz: &FuzzConfig,
+    config_filter: Option<&str>,
+    protocol: Option<Protocol>,
+    repro_dir: &Path,
+) -> bool {
     let stream = generate(fuzz);
     let mut clean = true;
     for (name, config) in stress_configs() {
         if config_filter.is_some_and(|f| f != name) {
+            continue;
+        }
+        if protocol.is_some_and(|p| p != config.protocol) {
             continue;
         }
         let Some(report) = diverges(&config, &stream) else {
@@ -99,7 +116,7 @@ fn fuzz_round(fuzz: &FuzzConfig, config_filter: Option<&str>, repro_dir: &Path) 
     clean
 }
 
-fn replay(path: &str, config_filter: Option<&str>) -> bool {
+fn replay(path: &str, config_filter: Option<&str>, protocol: Option<Protocol>) -> bool {
     let steps = match File::open(path).map_err(|e| e.to_string()).and_then(|f| {
         execmig_check::read_repro(std::io::BufReader::new(f)).map_err(|e| e.to_string())
     }) {
@@ -113,6 +130,9 @@ fn replay(path: &str, config_filter: Option<&str>) -> bool {
     let mut clean = true;
     for (name, config) in stress_configs() {
         if config_filter.is_some_and(|f| f != name) {
+            continue;
+        }
+        if protocol.is_some_and(|p| p != config.protocol) {
             continue;
         }
         match diverges(&config, &steps) {
@@ -132,10 +152,17 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: differ [--suite] [--fuzz N] [--seed S] [--budget INSTR] \
-             [--accesses N] [--replay FILE] [--config NAME] [--repro-dir DIR]"
+             [--accesses N] [--replay FILE] [--config NAME] \
+             [--protocol migration|mesi|dragon] [--repro-dir DIR]"
         );
         exit(2);
     }
+    let protocol = arg_value(&args, "--protocol").map(|v| {
+        Protocol::parse(&v).unwrap_or_else(|| {
+            eprintln!("--protocol expects migration|mesi|dragon, got {v:?}");
+            exit(2);
+        })
+    });
     let budget = arg_u64(&args, "--budget", 2_000_000);
     let seed0 = arg_u64(&args, "--seed", 1);
     let accesses = arg_u64(&args, "--accesses", FuzzConfig::default().accesses);
@@ -147,10 +174,10 @@ fn main() {
 
     let mut clean = true;
     if let Some(path) = replay_path {
-        clean &= replay(&path, config_filter.as_deref());
+        clean &= replay(&path, config_filter.as_deref(), protocol);
     }
     if run_suite {
-        clean &= suite_lockstep(budget);
+        clean &= suite_lockstep(budget, protocol.unwrap_or_default());
     }
     for round in 0..fuzz_rounds {
         let fuzz = FuzzConfig {
@@ -158,7 +185,12 @@ fn main() {
             accesses,
             ..FuzzConfig::default()
         };
-        clean &= fuzz_round(&fuzz, config_filter.as_deref(), Path::new(&repro_dir));
+        clean &= fuzz_round(
+            &fuzz,
+            config_filter.as_deref(),
+            protocol,
+            Path::new(&repro_dir),
+        );
     }
     if !clean {
         exit(1);

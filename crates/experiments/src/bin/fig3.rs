@@ -1,12 +1,17 @@
 //! Regenerates Figure 3: affinity snapshots on Circular and
 //! HalfRandom(300), N = 4000, |R| = 100, at t = 20k/100k/1000k.
 //!
-//! Usage: `fig3 [--buckets N] [--csv] [--json] [--no-manifest]
+//! Usage: `fig3 [--buckets N] [--protocol migration|mesi|dragon]
+//!               [--csv] [--json] [--no-manifest]
 //!               [--manifest-dir DIR] [--serve-telemetry ADDR]`
+//!
+//! Figure 3 models the affinity algorithm alone (no Machine is built),
+//! so `--protocol` does not change any number; it is validated and
+//! recorded in the manifest for uniform sweep drivers.
 
 use execmig_experiments::fig3::{bucket_means, run, Fig3Config};
 use execmig_experiments::manifest::ManifestEmitter;
-use execmig_experiments::report::{arg_flag, arg_u64};
+use execmig_experiments::report::{arg_flag, arg_protocol, arg_u64};
 use execmig_experiments::runner::parallel_map_observed;
 use execmig_experiments::telemetry::Telemetry;
 use execmig_obs::{Json, ToJson};
@@ -88,7 +93,8 @@ fn main() {
     em.config(
         &Json::object()
             .field("buckets", buckets)
-            .field("streams", ["Circular", "HalfRandom(300)"]),
+            .field("streams", ["Circular", "HalfRandom(300)"])
+            .field("protocol", arg_protocol(&args)),
     );
     em.stats(Json::object().field("final_snapshots", stream_stats));
     em.write();

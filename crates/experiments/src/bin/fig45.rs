@@ -2,12 +2,17 @@
 //! per benchmark, with the transition frequency.
 //!
 //! Usage: `fig45 [--instr N] [--threads N] [--bench NAME] [--summary]
+//!                [--protocol migration|mesi|dragon]
 //!                [--csv] [--json] [--no-manifest] [--manifest-dir DIR]
 //!                [--serve-telemetry ADDR]`
+//!
+//! Figures 4–5 are LRU stack profiles over the L1-filtered stream (no
+//! Machine is built), so `--protocol` does not change any number; it is
+//! validated and recorded in the manifest for uniform sweep drivers.
 
 use execmig_experiments::fig45::{self, Fig45Config};
 use execmig_experiments::manifest::ManifestEmitter;
-use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
+use execmig_experiments::report::{arg_flag, arg_protocol, arg_u64, arg_value};
 use execmig_experiments::runner::default_threads;
 use execmig_experiments::telemetry::Telemetry;
 use execmig_obs::{Json, ToJson};
@@ -20,7 +25,7 @@ fn main() {
     let config = Fig45Config::paper(instructions);
     let mut em = ManifestEmitter::start("fig45", &args);
     em.budget(instructions);
-    em.config(&config);
+    em.config(&config.to_json().field("protocol", arg_protocol(&args)));
 
     let rows = match arg_value(&args, "--bench") {
         Some(name) => vec![fig45::run_benchmark(&name, &config)],

@@ -2,13 +2,17 @@
 //! results, run manifests, exported profiles) metric by metric.
 //!
 //! Usage: `obs_diff BASELINE.json CANDIDATE.json [--threshold R]
-//!                  [--only P1,P2,…] [--metric NAME]
+//!                  [--abs-floor N] [--only P1,P2,…] [--metric NAME]
 //!                  [--drift] [--json] [--quiet]`
 //!
 //! Metrics are lower-is-better; a relative increase beyond the
-//! threshold (default 0.10) is a regression. `--drift` also flags
-//! decreases (for determinism checks). `--only` restricts the
-//! comparison to metric paths under the given slash prefixes
+//! threshold (default 0.10) is a regression. A *zero-baseline* leaf
+//! has no meaningful relative delta (it is ±∞), so it is gated on the
+//! absolute floor instead (default 10; `--abs-floor 0` restores the
+//! strict any-movement gate). Leaves present in only one document are
+//! reported as `added:`/`removed:` but never fail the gate. `--drift`
+//! also flags decreases (for determinism checks). `--only` restricts
+//! the comparison to metric paths under the given slash prefixes
 //! (comma-separated, e.g. `cache/,table2/`); `--metric` to leaves
 //! with the given final segment (e.g. `median_ns`) — together they
 //! scope a CI hard gate to the kernels it should defend. Exit codes:
@@ -31,7 +35,7 @@ fn main() {
     let files: Vec<&String> = {
         // Positional operands: non-flags not consumed by a
         // value-taking flag.
-        const TAKES_VALUE: &[&str] = &["--threshold", "--only", "--metric"];
+        const TAKES_VALUE: &[&str] = &["--threshold", "--abs-floor", "--only", "--metric"];
         let mut skip_next = false;
         args.iter()
             .filter(|a| {
@@ -50,8 +54,8 @@ fn main() {
     let &[baseline, candidate] = files.as_slice() else {
         eprintln!(
             "usage: obs_diff BASELINE.json CANDIDATE.json \
-             [--threshold R] [--only P1,P2,…] [--metric NAME] \
-             [--drift] [--json] [--quiet]"
+             [--threshold R] [--abs-floor N] [--only P1,P2,…] \
+             [--metric NAME] [--drift] [--json] [--quiet]"
         );
         exit(2);
     };
@@ -64,6 +68,14 @@ fn main() {
                 })
             })
             .unwrap_or(DiffConfig::default().threshold),
+        abs_floor: arg_value(&args, "--abs-floor")
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--abs-floor expects a number, got {v:?}");
+                    exit(2);
+                })
+            })
+            .unwrap_or(DiffConfig::default().abs_floor),
         drift: arg_flag(&args, "--drift"),
     };
     let only: Vec<String> = arg_value(&args, "--only")

@@ -1,12 +1,17 @@
 //! Regenerates Table 1: the benchmark suite with instruction counts and
 //! 16 KB fully-associative L1 miss counts.
 //!
-//! Usage: `table1 [--instr N] [--threads N] [--csv] [--json]
+//! Usage: `table1 [--instr N] [--threads N]
+//!                 [--protocol migration|mesi|dragon] [--csv] [--json]
 //!                 [--no-manifest] [--manifest-dir DIR]
 //!                 [--serve-telemetry ADDR]`
+//!
+//! Table 1 is a single-core L1 characterisation, so `--protocol` does
+//! not change any number; it is validated and recorded in the manifest
+//! so a sweep driver can pass one uniform flag set to every binary.
 
 use execmig_experiments::manifest::ManifestEmitter;
-use execmig_experiments::report::{arg_flag, arg_u64};
+use execmig_experiments::report::{arg_flag, arg_protocol, arg_u64};
 use execmig_experiments::runner::default_threads;
 use execmig_experiments::table1;
 use execmig_experiments::telemetry::Telemetry;
@@ -22,7 +27,8 @@ fn main() {
     em.config(
         &Json::object()
             .field("instructions", instructions)
-            .field("threads", threads),
+            .field("threads", threads)
+            .field("protocol", arg_protocol(&args)),
     );
 
     let rows = table1::run_all_observed(instructions, threads, telemetry.hub());

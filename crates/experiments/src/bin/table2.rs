@@ -2,12 +2,17 @@
 //! L2 misses with and without migration, the L2-miss ratio, and the
 //! migration frequency, all in instructions per event.
 //!
-//! Usage: `table2 [--instr N] [--threads N] [--bench NAME] [--csv]
+//! Usage: `table2 [--instr N] [--threads N] [--bench NAME]
+//!                 [--protocol migration|mesi|dragon] [--csv]
 //!                 [--json] [--no-manifest] [--manifest-dir DIR]
 //!                 [--serve-telemetry ADDR]`
+//!
+//! `--protocol` swaps the four-core machine's L2 coherence backend
+//! (default: the paper's migration mode); the single-core baseline
+//! columns are protocol-independent.
 
 use execmig_experiments::manifest::ManifestEmitter;
-use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
+use execmig_experiments::report::{arg_flag, arg_protocol, arg_u64, arg_value};
 use execmig_experiments::runner::default_threads;
 use execmig_experiments::table2;
 use execmig_experiments::telemetry::Telemetry;
@@ -17,6 +22,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let instructions = arg_u64(&args, "--instr", 100_000_000);
     let threads = arg_u64(&args, "--threads", default_threads(18) as u64) as usize;
+    let protocol = arg_protocol(&args);
     let telemetry = Telemetry::from_args(&args, threads);
     let mut em = ManifestEmitter::start("table2", &args);
     em.budget(instructions);
@@ -24,12 +30,13 @@ fn main() {
         &Json::object()
             .field("instructions", instructions)
             .field("threads", threads)
-            .field("bench", arg_value(&args, "--bench")),
+            .field("bench", arg_value(&args, "--bench"))
+            .field("protocol", protocol),
     );
 
     let rows = match arg_value(&args, "--bench") {
-        Some(name) => vec![table2::run_benchmark(&name, instructions)],
-        None => table2::run_all_observed(instructions, threads, telemetry.hub()),
+        Some(name) => vec![table2::run_benchmark_with(&name, instructions, protocol)],
+        None => table2::run_all_observed_with(instructions, threads, protocol, telemetry.hub()),
     };
     telemetry.finish();
     em.stats(

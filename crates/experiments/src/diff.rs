@@ -30,6 +30,11 @@ pub struct DiffConfig {
     pub threshold: f64,
     /// Flag *any* movement beyond the threshold, not just increases.
     pub drift: bool,
+    /// Absolute gate for zero-baseline leaves, whose relative delta is
+    /// ±∞ and would otherwise fail on *any* movement: a leaf growing
+    /// from 0 only regresses past this value. Leaves present in one
+    /// document only (`added`/`removed`) are always informational.
+    pub abs_floor: f64,
 }
 
 impl Default for DiffConfig {
@@ -37,11 +42,16 @@ impl Default for DiffConfig {
         DiffConfig {
             threshold: 0.10,
             drift: false,
+            abs_floor: 10.0,
         }
     }
 }
 
-execmig_obs::impl_to_json!(DiffConfig { threshold, drift });
+execmig_obs::impl_to_json!(DiffConfig {
+    threshold,
+    drift,
+    abs_floor
+});
 
 /// One numeric leaf present in both documents.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,8 +84,18 @@ impl MetricDelta {
         }
     }
 
-    /// Is this delta a regression under `config`?
+    /// Is this delta a regression under `config`? A zero baseline has
+    /// no meaningful relative delta ([`rel`](Self::rel) is ±∞), so
+    /// movement away from zero is gated on `config.abs_floor` instead
+    /// of the relative threshold.
     pub fn regressed(&self, config: &DiffConfig) -> bool {
+        if self.before == 0.0 {
+            return if config.drift {
+                self.after.abs() > config.abs_floor
+            } else {
+                self.after > config.abs_floor
+            };
+        }
         let rel = self.rel();
         if config.drift {
             rel.abs() > config.threshold
@@ -301,12 +321,39 @@ mod tests {
     }
 
     #[test]
-    fn zero_baseline_increase_is_infinite_regression() {
-        let a = Json::object().field("misses", 0u64);
-        let b = Json::object().field("misses", 3u64);
-        let r = DiffReport::compare(&a, &b);
-        assert_eq!(r.regressions(&DiffConfig::default()).len(), 1);
-        assert!(r.deltas[0].rel().is_infinite());
+    fn zero_baseline_is_gated_on_the_absolute_floor() {
+        // `rel()` is ±∞ from a zero baseline — as a *relative* gate
+        // that failed on any movement at all (e.g. a counter that was
+        // dead in the baseline ticking 3 times). The regression gate
+        // uses the absolute floor instead.
+        let cfg = DiffConfig::default();
+        let zero = Json::object().field("misses", 0u64);
+        let small = Json::object().field("misses", 3u64);
+        let big = Json::object().field("misses", 5000u64);
+
+        let r = DiffReport::compare(&zero, &small);
+        assert!(r.deltas[0].rel().is_infinite(), "rel stays mathematical");
+        assert!(
+            r.regressions(&cfg).is_empty(),
+            "movement under the floor is informational"
+        );
+
+        let r = DiffReport::compare(&zero, &big);
+        assert_eq!(r.regressions(&cfg).len(), 1, "past the floor regresses");
+
+        // The floor is configurable; 0.0 restores the strict gate.
+        let strict = DiffConfig {
+            abs_floor: 0.0,
+            ..cfg
+        };
+        let r = DiffReport::compare(&zero, &small);
+        assert_eq!(r.regressions(&strict).len(), 1);
+
+        // Drift mode gates |after| the same way.
+        let drift = DiffConfig { drift: true, ..cfg };
+        let neg = Json::object().field("misses", -3.0);
+        let r = DiffReport::compare(&zero, &neg);
+        assert!(r.regressions(&drift).is_empty());
     }
 
     #[test]

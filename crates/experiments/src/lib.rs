@@ -25,6 +25,7 @@
 //! | §6 register-update cache | `execmig_machine::regcache` | `ext_regcache` |
 //! | §6 activity migration (thermal) | `execmig_machine::thermal` | `ext_thermal` |
 //! | §2.3/§6 branch-predictor broadcast | `execmig_machine::branch` | `ext_branch` |
+//! | §5 related work: bus protocols vs migration | [`coherence_compare`] | `coherence_compare` |
 //!
 //! All binaries accept `--instr N` / `--refs N` style scaling flags so
 //! the full suite can run in minutes instead of the paper's 10⁹
@@ -32,6 +33,7 @@
 //! reported effect is already stable.
 
 pub mod ablations;
+pub mod coherence_compare;
 pub mod diff;
 pub mod ext_cores;
 pub mod ext_pointer;

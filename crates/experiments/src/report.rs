@@ -175,6 +175,22 @@ pub fn arg_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Parses `--protocol {migration,mesi,dragon}`, defaulting to migration
+/// mode (the paper's machine).
+///
+/// # Panics
+///
+/// Panics on an unknown protocol name (consistent with [`arg_u64`]'s
+/// handling of garbage values).
+pub fn arg_protocol(args: &[String]) -> execmig_machine::Protocol {
+    arg_value(args, "--protocol")
+        .map(|v| {
+            execmig_machine::Protocol::parse(&v)
+                .unwrap_or_else(|| panic!("--protocol expects migration|mesi|dragon, got {v:?}"))
+        })
+        .unwrap_or_default()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +254,30 @@ mod tests {
     fn arg_u64_rejects_garbage() {
         let args: Vec<String> = ["--instr", "abc"].iter().map(|s| s.to_string()).collect();
         arg_u64(&args, "--instr", 1);
+    }
+
+    #[test]
+    fn protocol_parsing() {
+        use execmig_machine::Protocol;
+        let to_args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(arg_protocol(&to_args(&[])), Protocol::MigrationMode);
+        assert_eq!(
+            arg_protocol(&to_args(&["--protocol", "mesi"])),
+            Protocol::Mesi
+        );
+        assert_eq!(
+            arg_protocol(&to_args(&["--protocol", "dragon"])),
+            Protocol::Dragon
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "migration|mesi|dragon")]
+    fn protocol_rejects_garbage() {
+        let args: Vec<String> = ["--protocol", "moesi"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        arg_protocol(&args);
     }
 }

@@ -9,7 +9,7 @@
 //! the migration run's L2 misses relative to the baseline's (per
 //! instruction) — below 1 means execution migration removed L2 misses.
 
-use execmig_machine::{Machine, MachineConfig};
+use execmig_machine::{Machine, MachineConfig, Protocol};
 use execmig_trace::suite;
 
 use crate::runner::ObsCtx;
@@ -70,6 +70,18 @@ pub fn run_benchmark(name: &str, instructions: u64) -> Table2Row {
     run_benchmark_observed(name, instructions, None)
 }
 
+/// As [`run_benchmark`], with the four-core machine running the given
+/// L2 coherence backend instead of migration mode's (the single-core
+/// baseline is protocol-independent). `Protocol::MigrationMode`
+/// reproduces [`run_benchmark`] exactly.
+///
+/// # Panics
+///
+/// Panics if `name` is not a suite benchmark.
+pub fn run_benchmark_with(name: &str, instructions: u64, protocol: Protocol) -> Table2Row {
+    run_benchmark_observed_with(name, instructions, protocol, None)
+}
+
 /// As [`run_benchmark`], with live telemetry beats from both machine
 /// runs when an [`ObsCtx`] is present. The simulation path is identical
 /// either way (`Machine::run_observed` only *reads* the counters), so
@@ -82,6 +94,20 @@ pub fn run_benchmark(name: &str, instructions: u64) -> Table2Row {
 pub fn run_benchmark_observed(
     name: &str,
     instructions: u64,
+    ctx: Option<&ObsCtx<'_>>,
+) -> Table2Row {
+    run_benchmark_observed_with(name, instructions, Protocol::MigrationMode, ctx)
+}
+
+/// The fully-general form: telemetry *and* protocol selection.
+///
+/// # Panics
+///
+/// Panics if `name` is not a suite benchmark.
+pub fn run_benchmark_observed_with(
+    name: &str,
+    instructions: u64,
+    protocol: Protocol,
     ctx: Option<&ObsCtx<'_>>,
 ) -> Table2Row {
     let info = suite::info(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
@@ -100,7 +126,10 @@ pub fn run_benchmark_observed(
         None => baseline.run(&mut *w, instructions),
     }
 
-    let mut migration = Machine::new(MachineConfig::four_core_migration());
+    let mut migration = Machine::new(MachineConfig {
+        protocol,
+        ..MachineConfig::four_core_migration()
+    });
     let mut w = suite::by_name(name).expect("suite benchmark");
     match ctx {
         Some(c) => migration.run_observed(
@@ -153,8 +182,18 @@ pub fn run_all_observed(
     threads: usize,
     hub: Option<&execmig_obs::Hub>,
 ) -> Vec<Table2Row> {
+    run_all_observed_with(instructions, threads, Protocol::MigrationMode, hub)
+}
+
+/// Runs the whole suite under the given L2 coherence backend.
+pub fn run_all_observed_with(
+    instructions: u64,
+    threads: usize,
+    protocol: Protocol,
+    hub: Option<&execmig_obs::Hub>,
+) -> Vec<Table2Row> {
     crate::runner::parallel_map_observed(suite::names(), threads, hub, |name, ctx| {
-        run_benchmark_observed(name, instructions, ctx.as_ref())
+        run_benchmark_observed_with(name, instructions, protocol, ctx.as_ref())
     })
     .0
 }
@@ -230,6 +269,18 @@ mod tests {
         assert_eq!(classify(1.0), "neutral");
         assert_eq!(classify(1.6), "degrades");
         assert_eq!(classify(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn protocol_override_reaches_the_machine() {
+        let mig = run_benchmark("art", 2_000_000);
+        let mesi = run_benchmark_with("art", 2_000_000, Protocol::Mesi);
+        // The single-core baseline is protocol-independent...
+        assert_eq!(mig.l1_ipe, mesi.l1_ipe);
+        assert_eq!(mig.l2_ipe, mesi.l2_ipe);
+        // ...but the four-core run is not: invalidations change the
+        // miss stream, hence the controller's migration decisions.
+        assert_ne!(mig.migrations, mesi.migrations);
     }
 
     #[test]

@@ -5,6 +5,8 @@ use execmig_core::ControllerConfig;
 use execmig_obs::impl_to_json;
 use execmig_trace::LineSize;
 
+use crate::coherence::Protocol;
+
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
@@ -61,6 +63,9 @@ pub struct MachineConfig {
     /// is a latency class, not a capacity constraint — every L2 miss
     /// not served L2-to-L2 hits it).
     pub l3: Option<CacheGeometry>,
+    /// L2 coherence backend (default: the paper's migration-mode
+    /// scheme).
+    pub protocol: Protocol,
 }
 
 impl MachineConfig {
@@ -87,6 +92,7 @@ impl MachineConfig {
             controller: None,
             prefetch: None,
             l3: None,
+            protocol: Protocol::MigrationMode,
         }
     }
 
@@ -149,6 +155,7 @@ impl_to_json!(MachineConfig {
     controller,
     prefetch,
     l3,
+    protocol,
 });
 
 impl Default for MachineConfig {

@@ -23,6 +23,10 @@
 //!   distinguish between L2-to-L2 misses and L3 hits".
 //! - **The migration controller** drives migrations from the L1-miss
 //!   request stream (`execmig-core`).
+//! - **Pluggable L2 coherence** (`coherence`): the migration-mode scheme
+//!   above is one backend of a [`CoherenceProtocol`] trait; MESI and
+//!   Dragon backends let experiments compare the paper's design against
+//!   conventional invalidate and update protocols on the same machine.
 //! - **Update-bus accounting** (§2.3) and a **migration-protocol model**
 //!   (§2.2) quantify the bandwidth and the penalty `P_mig`.
 //!
@@ -38,6 +42,7 @@
 
 pub mod branch;
 pub mod bus;
+pub mod coherence;
 pub mod config;
 pub mod invariants;
 pub mod machine;
@@ -49,6 +54,7 @@ pub mod thermal;
 pub mod timeline;
 
 pub use bus::{UpdateBus, UpdateBusConfig};
+pub use coherence::{CoherenceProtocol, Protocol};
 pub use config::{CacheGeometry, MachineConfig, PrefetchConfig};
 pub use machine::{Machine, MAX_CORES};
 pub use perf::{PerfModel, PerfSummary};

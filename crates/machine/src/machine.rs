@@ -9,6 +9,7 @@ use execmig_obs::{
 use execmig_trace::{AccessKind, LineAddr, LineSize, Workload};
 
 use crate::bus::UpdateBus;
+use crate::coherence::{CoherenceCtx, CoherenceProtocol, Protocol};
 use crate::config::MachineConfig;
 use crate::invariants;
 use crate::stats::MachineStats;
@@ -212,6 +213,9 @@ impl Machine {
             ("store_broadcast_updates", s.store_broadcast_updates),
             ("prefetch_fills", s.prefetch_fills),
             ("l3_misses", s.l3_misses),
+            ("invalidations", s.invalidations),
+            ("coherence_updates", s.coherence_updates),
+            ("coherence_bus_bytes", s.coherence_bus_bytes),
             ("bus_reg_bytes", s.bus.reg_bytes),
             ("bus_store_bytes", s.bus.store_bytes),
             ("bus_branch_bytes", s.bus.branch_bytes),
@@ -431,7 +435,12 @@ impl Machine {
             flips,
             affinity_hits: aff_hits,
             affinity_misses: aff_misses,
-            bus_bytes: s.bus.update_bus_bytes(),
+            // Total bus traffic: the architectural update bus plus any
+            // protocol coherence transactions (0 under migration mode,
+            // so its profiles are unchanged by the protocol seam).
+            bus_bytes: s.bus.update_bus_bytes() + s.coherence_bus_bytes,
+            invalidations: s.invalidations,
+            coherence_updates: s.coherence_updates,
             residency: self.core_instructions,
             f_value,
             a_r,
@@ -445,7 +454,7 @@ impl Machine {
     /// every [`invariants::SCAN_PERIOD`] accesses; in release builds
     /// the checks compile to nothing.
     pub fn check_invariants(&self) {
-        invariants::check_single_modified_owner(&self.l2);
+        invariants::check_coherence(self.config.protocol, &self.l2);
         invariants::check_l1_write_through(&self.il1, &self.dl1);
         invariants::check_occupancy(
             &self.core_instructions[..self.config.cores],
@@ -474,37 +483,55 @@ impl Machine {
         self.consult_controller(line, !l2_hit, pointer);
     }
 
+    /// The configured coherence backend plus the mutable view of the
+    /// machine state its hooks may touch.
+    fn coherence(&mut self) -> (Protocol, CoherenceCtx<'_>) {
+        (
+            self.config.protocol,
+            CoherenceCtx {
+                active: self.active,
+                l2: &mut self.l2,
+                l3: self.l3.as_mut(),
+                stats: &mut self.stats,
+            },
+        )
+    }
+
     /// Sequential prefetch (§6 extension): on a read miss for `line`,
     /// pull the next `degree` lines into the active L2 from L3.
     ///
-    /// Prefetches never forward modified remote copies — and must not
-    /// fill *around* them either: the L3 data for such a line is stale
-    /// until the owner writes back, so filling it would plant a clean
-    /// copy of old data that later demand hits would read. Those lines
-    /// are skipped (the demand path forwards them properly). Lines past
-    /// the top of the address space are dropped, not wrapped.
+    /// Prefetches are bus-free, so the backend decides which lines may
+    /// fill at all (migration mode skips lines modified remotely — the
+    /// L3 image is stale until the owner writes back; the bus protocols
+    /// skip any remotely-held line, since a bus-free fill may only
+    /// create an exclusive copy). Lines past the top of the address
+    /// space are dropped, not wrapped. A modified prefetch victim is
+    /// written back *and installed* into the finite L3, exactly like a
+    /// demand-fill victim — merely counting the write-back would lose
+    /// the only up-to-date copy of the line.
     fn prefetch_after(&mut self, line: LineAddr) {
         let Some(p) = self.config.prefetch else {
             return;
         };
+        let protocol = self.config.protocol;
         let active = self.active;
         for i in 1..=p.degree as u64 {
             let Some(raw) = line.raw().checked_add(i) else {
                 break;
             };
             let next = LineAddr::new(raw);
-            if self
-                .l2
-                .iter()
-                .enumerate()
-                .any(|(c, l2)| c != active && l2.modified(next) == Some(true))
-            {
+            if !protocol.may_prefetch(active, &self.l2, next) {
                 continue;
             }
             if let FillIfAbsent::Filled(evicted) = self.l2[active].fill_if_absent(next, false) {
                 self.stats.prefetch_fills += 1;
-                if evicted.is_some_and(|e| e.modified) {
-                    self.stats.l3_writebacks += 1;
+                if let Some(e) = evicted {
+                    if e.modified {
+                        self.stats.l3_writebacks += 1;
+                        if let Some(l3) = &mut self.l3 {
+                            l3.fill(e.line, true);
+                        }
+                    }
                 }
             }
         }
@@ -517,18 +544,16 @@ impl Machine {
         self.stats.l2_accesses += 1;
         let l2_hit = self.l2[self.active].lookup(line);
         if l2_hit {
-            self.l2[self.active].set_modified(line, true);
+            let (protocol, mut ctx) = self.coherence();
+            protocol.write_hit(&mut ctx, line);
         } else {
             self.stats.l2_misses += 1;
             self.tracer.emit(self.stats.instructions, EventKind::L2Miss);
             self.serve_l2_miss(line, true);
         }
-        // Store broadcast (§2.3): inactive copies are refreshed and
-        // their modified bit reset, so at most one copy is modified.
-        for (c, l2) in self.l2.iter_mut().enumerate() {
-            if c != self.active && l2.set_modified(line, false) {
-                self.stats.store_broadcast_updates += 1;
-            }
+        {
+            let (protocol, mut ctx) = self.coherence();
+            protocol.after_write(&mut ctx, line);
         }
         if was_l1_request {
             self.stats.l1_requests += 1;
@@ -537,41 +562,12 @@ impl Machine {
         }
     }
 
-    /// Fills `line` into the active L2 after a miss, sourcing it from a
-    /// modified remote copy (L2-to-L2 forward + simultaneous L3
-    /// write-back + bit reset) or from L3 (valid non-modified remote
-    /// copies "cannot be forwarded … and must be re-fetched from L3").
+    /// Fills `line` into the active L2 after a miss, delegating the
+    /// sourcing (remote forward vs L3 fetch), remote-state adjustment,
+    /// and victim retirement to the configured coherence backend.
     fn serve_l2_miss(&mut self, line: LineAddr, store: bool) {
-        let active = self.active;
-        let mut forwarded = false;
-        for (c, l2) in self.l2.iter_mut().enumerate() {
-            if c != active && l2.modified(line) == Some(true) {
-                l2.set_modified(line, false);
-                self.stats.l2_to_l2_forwards += 1;
-                self.stats.l3_writebacks += 1;
-                forwarded = true;
-                break;
-            }
-        }
-        if !forwarded {
-            self.stats.l3_fetches += 1;
-            // With a finite L3, a fetch that misses it goes to memory.
-            if let Some(l3) = &mut self.l3 {
-                if !l3.lookup(line) {
-                    self.stats.l3_misses += 1;
-                    l3.fill(line, false);
-                }
-            }
-        }
-        if let Some(evicted) = self.l2[active].fill(line, store) {
-            if evicted.modified {
-                self.stats.l3_writebacks += 1;
-                // The write-back installs the line in the finite L3.
-                if let Some(l3) = &mut self.l3 {
-                    l3.fill(evicted.line, true);
-                }
-            }
-        }
+        let (protocol, mut ctx) = self.coherence();
+        protocol.serve_miss(&mut ctx, line, store);
     }
 
     /// Feeds the request to the migration controller and performs the
@@ -647,6 +643,7 @@ mod tests {
             controller: None,
             prefetch: None,
             l3: None,
+            protocol: Protocol::MigrationMode,
         }
     }
 

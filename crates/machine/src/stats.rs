@@ -28,6 +28,9 @@ impl_to_json!(MachineStats {
     store_broadcast_updates,
     prefetch_fills,
     l3_misses,
+    invalidations,
+    coherence_updates,
+    coherence_bus_bytes,
     bus
 });
 
@@ -73,6 +76,17 @@ pub struct MachineStats {
     /// Finite-L3 misses (memory accesses); 0 when the L3 is modelled
     /// as infinite.
     pub l3_misses: u64,
+    /// Remote L2 copies invalidated by MESI `BusRdX`/`BusUpgr`
+    /// transactions; 0 under migration mode and Dragon.
+    pub invalidations: u64,
+    /// Remote L2 copies refreshed by Dragon `BusUpd` transactions (the
+    /// update-protocol analogue of `store_broadcast_updates`); 0 under
+    /// migration mode and MESI.
+    pub coherence_updates: u64,
+    /// Extra bus bytes moved by coherence transactions (MESI
+    /// invalidation addresses, Dragon update words); 0 under migration
+    /// mode, whose update traffic is accounted in `bus`.
+    pub coherence_bus_bytes: u64,
     /// Update-bus traffic.
     pub bus: UpdateBusStats,
 }

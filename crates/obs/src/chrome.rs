@@ -236,6 +236,14 @@ pub fn render_machine_trace(
                 r.bus_bytes as f64 / r.len_instructions().max(1) as f64,
             )],
         );
+        t.counter(
+            "coherence (per kinstr)",
+            r.start,
+            &[
+                ("invalidations", r.invalidations as f64 / kinstr),
+                ("updates", r.coherence_updates as f64 / kinstr),
+            ],
+        );
         let residency: Vec<(String, f64)> = r
             .residency
             .iter()
@@ -270,6 +278,8 @@ mod tests {
             affinity_hits: 3,
             affinity_misses: 1,
             bus_bytes: 4096,
+            invalidations: 0,
+            coherence_updates: 0,
             residency,
             f_value: -5,
             a_r: 17,

@@ -81,8 +81,13 @@ pub struct ProfileCumulative {
     pub affinity_hits: u64,
     /// Affinity-table reads that missed (forced `A_e = 0`).
     pub affinity_misses: u64,
-    /// Update-bus bytes broadcast.
+    /// Bus bytes broadcast (update bus plus protocol coherence
+    /// traffic).
     pub bus_bytes: u64,
+    /// Remote copies invalidated by the coherence protocol (MESI).
+    pub invalidations: u64,
+    /// Remote copies refreshed by coherence updates (Dragon `BusUpd`).
+    pub coherence_updates: u64,
     /// Instructions executed per core.
     pub residency: [u64; PROFILE_MAX_CORES],
     /// Top-level transition-filter value `F` (point-in-time).
@@ -120,8 +125,12 @@ pub struct ProfileRecord {
     pub affinity_hits: u64,
     /// Affinity-table misses in the interval.
     pub affinity_misses: u64,
-    /// Update-bus bytes in the interval.
+    /// Bus bytes in the interval (update bus plus coherence traffic).
     pub bus_bytes: u64,
+    /// Coherence invalidations in the interval.
+    pub invalidations: u64,
+    /// Coherence updates in the interval.
+    pub coherence_updates: u64,
     /// Instructions per core in the interval.
     pub residency: [u64; PROFILE_MAX_CORES],
     /// `F` at the interval end.
@@ -146,6 +155,8 @@ crate::impl_to_json!(ProfileRecord {
     affinity_hits,
     affinity_misses,
     bus_bytes,
+    invalidations,
+    coherence_updates,
     residency,
     f_value,
     a_r,
@@ -175,6 +186,8 @@ impl ProfileRecord {
             affinity_hits: now.affinity_hits - prev.affinity_hits,
             affinity_misses: now.affinity_misses - prev.affinity_misses,
             bus_bytes: now.bus_bytes - prev.bus_bytes,
+            invalidations: now.invalidations - prev.invalidations,
+            coherence_updates: now.coherence_updates - prev.coherence_updates,
             residency,
             f_value: now.f_value,
             a_r: now.a_r,
@@ -198,6 +211,8 @@ impl ProfileRecord {
         self.affinity_hits += later.affinity_hits;
         self.affinity_misses += later.affinity_misses;
         self.bus_bytes += later.bus_bytes;
+        self.invalidations += later.invalidations;
+        self.coherence_updates += later.coherence_updates;
         for (slot, v) in self.residency.iter_mut().zip(later.residency.iter()) {
             *slot += v;
         }

@@ -1,8 +1,12 @@
-//! Migration-mode coherence scenarios from §2.1, driven through the
-//! machine's public API with a scripted access sequence and manual
-//! activity placement (no controller, 4 cores).
+//! Coherence scenarios driven through the machine's public API with a
+//! scripted access sequence and manual activity placement (no
+//! controller): the migration-mode rules of §2.1, the eviction/
+//! write-back paths, and the MESI/Dragon backends.
 
-use execution_migration::machine::{Machine, MachineConfig, PrefetchConfig};
+use execution_migration::cache::Indexing;
+use execution_migration::machine::{
+    CacheGeometry, Machine, MachineConfig, PrefetchConfig, Protocol,
+};
 use execution_migration::trace::workload::InstrBudget;
 use execution_migration::trace::{Access, AccessKind, Addr, LineAddr, Workload};
 
@@ -197,6 +201,223 @@ fn prefetch_at_address_space_top_drops_out_of_range_lines() {
     assert_eq!(m.stats().prefetch_fills, 0);
     assert_eq!(m.stats().dl1_misses, 1);
     assert_eq!(m.stats().l2_misses, 1);
+}
+
+/// A 1 KB 2-way *modulo*-indexed L2 (8 sets), so eviction victims are
+/// hand-computable: lines `n` and `n + 8k` share a set.
+fn tiny_modulo_machine(prefetch: Option<PrefetchConfig>) -> Machine {
+    Machine::new(MachineConfig {
+        controller: None,
+        prefetch,
+        l2: CacheGeometry {
+            capacity_bytes: 1 << 10,
+            ways: 2,
+            indexing: Indexing::Modulo,
+        },
+        l3: Some(CacheGeometry {
+            capacity_bytes: 32 << 10,
+            ways: 4,
+            indexing: Indexing::Skewed,
+        }),
+        ..MachineConfig::single_core()
+    })
+}
+
+fn addr_of_line(line: u64) -> Addr {
+    Addr::new(line * 64)
+}
+
+/// Regression (eviction audit): a *prefetch* fill that evicts a
+/// modified L2 victim must install the victim into the finite L3, not
+/// merely count a write-back — otherwise the only up-to-date copy of
+/// the line is dropped and a later fetch resurrects stale data. (The
+/// demand-fill path always installed; the prefetch path did not.)
+#[test]
+fn prefetch_victim_writeback_installs_into_l3() {
+    let mut m = tiny_modulo_machine(Some(PrefetchConfig { degree: 1 }));
+    // Dirty lines 0 and 8: both map to set 0 of the 8-set L2, filling
+    // both ways (line 0 becomes LRU).
+    let mut s = Script::new(vec![
+        Access::store(addr_of_line(0)),
+        Access::store(addr_of_line(8)),
+        // Miss line 15 (set 7): the degree-1 prefetcher pulls line 16
+        // into set 0, evicting the modified line 0.
+        Access::load(addr_of_line(15)),
+    ]);
+    let n = s.len();
+    m.run(&mut s, n);
+    assert_eq!(m.stats().prefetch_fills, 1, "scenario must prefetch");
+    assert_eq!(m.stats().l3_writebacks, 1, "modified victim writes back");
+    let l3 = m.l3_cache().expect("finite L3 configured");
+    // The demand fetch of line 0 already placed a *clean* copy in L3;
+    // the write-back must upgrade it to modified, or the store to line
+    // 0 is lost.
+    assert_eq!(
+        l3.modified(LineAddr::new(0)),
+        Some(true),
+        "prefetch victim was written back but never installed into L3"
+    );
+}
+
+/// Regression (eviction audit): a *clean* L2 eviction is silent and
+/// must never downgrade the L3's modified copy of the same line.
+#[test]
+fn clean_eviction_never_downgrades_modified_l3_copy() {
+    let mut m = tiny_modulo_machine(None);
+    let mut s = Script::new(vec![
+        // Three dirty lines through set 0: storing 16 evicts the
+        // modified line 0 into L3 (its only up-to-date copy).
+        Access::store(addr_of_line(0)),
+        Access::store(addr_of_line(8)),
+        Access::store(addr_of_line(16)),
+        // Re-fetch line 0 clean from L3 (evicts modified 8).
+        Access::load(addr_of_line(0)),
+        // Evict modified 16, leaving set 0 = {0 clean, 24}.
+        Access::load(addr_of_line(24)),
+        // Evict line 0 *clean*: silent, no L3 interaction.
+        Access::load(addr_of_line(32)),
+    ]);
+    let n = s.len();
+    m.run(&mut s, n);
+    let l3 = m.l3_cache().expect("finite L3 configured");
+    assert!(
+        !m.l2_cache(0).contains(LineAddr::new(0)),
+        "line 0 must have been evicted clean"
+    );
+    assert_eq!(
+        l3.modified(LineAddr::new(0)),
+        Some(true),
+        "clean L2 eviction downgraded the modified L3 copy"
+    );
+    assert_eq!(
+        m.stats().l3_writebacks,
+        3,
+        "exactly the three dirty evictions"
+    );
+}
+
+/// MESI: a second core writing a shared line invalidates the other
+/// copy; migration mode in the same scenario keeps it (store
+/// broadcast refreshes instead).
+#[test]
+fn mesi_store_invalidates_where_migration_updates() {
+    let run = |protocol: Protocol| {
+        let mut m = Machine::new(MachineConfig {
+            cores: 4,
+            controller: None,
+            protocol,
+            ..MachineConfig::single_core()
+        });
+        let line = Addr::new(0x6000_0000);
+        // Core 0 reads the line...
+        let mut s0 = Script::new(vec![Access::load(line)]);
+        m.run(&mut s0, 1);
+        // ...then core 1 writes it.
+        m.activate(1);
+        let mut s1 = Script::new(vec![Access::store(line)]);
+        m.run(&mut s1, 1);
+        m
+    };
+
+    let mesi = run(Protocol::Mesi);
+    assert!(
+        !mesi.l2_cache(0).contains(LineAddr::new(0x6000_0000 / 64)),
+        "MESI BusRdX must invalidate the remote copy"
+    );
+    assert_eq!(mesi.stats().invalidations, 1);
+    assert!(mesi.stats().coherence_bus_bytes > 0);
+
+    let migration = run(Protocol::MigrationMode);
+    assert!(
+        migration
+            .l2_cache(0)
+            .contains(LineAddr::new(0x6000_0000 / 64)),
+        "migration mode refreshes the inactive copy instead"
+    );
+    assert_eq!(migration.stats().store_broadcast_updates, 1);
+    assert_eq!(migration.stats().invalidations, 0);
+    assert_eq!(migration.stats().coherence_bus_bytes, 0);
+}
+
+/// Dragon: the same scenario updates the remote copy in place (no
+/// invalidation), pays update-word bus bytes, and leaves the writer
+/// dirty-shared (Sm).
+#[test]
+fn dragon_store_updates_remote_copy_in_place() {
+    let mut m = Machine::new(MachineConfig {
+        cores: 4,
+        controller: None,
+        protocol: Protocol::Dragon,
+        ..MachineConfig::single_core()
+    });
+    let line = Addr::new(0x7000_0000);
+    let raw_line = LineAddr::new(0x7000_0000 / 64);
+    let mut s0 = Script::new(vec![Access::load(line)]);
+    m.run(&mut s0, 1);
+    m.activate(1);
+    let mut s1 = Script::new(vec![Access::store(line)]);
+    m.run(&mut s1, 1);
+    assert!(
+        m.l2_cache(0).contains(raw_line),
+        "Dragon BusUpd must not invalidate"
+    );
+    assert_eq!(
+        m.l2_cache(0).modified(raw_line),
+        Some(false),
+        "remote is Sc"
+    );
+    assert_eq!(m.l2_cache(1).modified(raw_line), Some(true), "writer is Sm");
+    assert_eq!(m.stats().coherence_updates, 1);
+    assert_eq!(m.stats().invalidations, 0);
+    assert!(m.stats().coherence_bus_bytes > 0);
+}
+
+/// The architectural update bus charges per retired broadcast, not per
+/// mirroring core: under Dragon (as under every backend) its byte
+/// totals are invariant in the core count. Only the *coherence*
+/// counters may grow with more cores.
+#[test]
+fn dragon_update_bus_bytes_are_core_count_invariant() {
+    // The same store-heavy stripe, replayed 4 times, spread round-robin
+    // over however many cores exist — identical retired work on every
+    // machine.
+    let run = |cores: usize| {
+        let mut m = Machine::new(MachineConfig {
+            cores,
+            controller: None,
+            protocol: Protocol::Dragon,
+            ..MachineConfig::single_core()
+        });
+        let mut now = 0u64;
+        for replay in 0..4 {
+            m.activate(replay % cores);
+            for i in 0..1_000u64 {
+                now += 1;
+                m.step(AccessKind::Load, LineAddr::new(i % 64), now);
+                now += 1;
+                m.step(AccessKind::Store, LineAddr::new(i % 64), now);
+            }
+        }
+        *m.stats()
+    };
+    let one = run(1);
+    let two = run(2);
+    let four = run(4);
+    assert_eq!(one.stores, two.stores);
+    assert_eq!(two.stores, four.stores);
+    // Register/store/branch broadcasts are charged once per retired
+    // event, however many cores mirror them.
+    assert_eq!(one.bus.reg_bytes, four.bus.reg_bytes);
+    assert_eq!(one.bus.store_bytes, four.bus.store_bytes);
+    assert_eq!(one.bus.branch_bytes, four.bus.branch_bytes);
+    assert_eq!(two.bus.reg_bytes, four.bus.reg_bytes);
+    assert_eq!(two.bus.store_bytes, four.bus.store_bytes);
+    assert_eq!(two.bus.branch_bytes, four.bus.branch_bytes);
+    // The *coherence* traffic is what scales: a single core has no
+    // sharers to update; more cores mean more Sc copies to refresh.
+    assert_eq!(one.coherence_updates, 0);
+    assert!(two.coherence_updates > 0);
+    assert!(four.coherence_updates > two.coherence_updates);
 }
 
 /// The update-bus accounting charges register traffic even for

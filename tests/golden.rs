@@ -5,7 +5,7 @@
 //! the constants and note it in CHANGELOG.md.
 
 use execution_migration::core::{Splitter2, SplitterConfig};
-use execution_migration::machine::{Machine, MachineConfig};
+use execution_migration::machine::{Machine, MachineConfig, Protocol};
 use execution_migration::trace::{suite, Workload};
 
 /// Snapshot of one machine run.
@@ -38,6 +38,56 @@ fn golden_art_migration() {
 fn golden_mcf_migration() {
     let (_, l2, mig, _) = run("mcf", MachineConfig::four_core_migration(), 2_000_000);
     assert_eq!((l2, mig), (476485, 584));
+}
+
+#[test]
+fn golden_art_mesi() {
+    let config = MachineConfig {
+        protocol: Protocol::Mesi,
+        ..MachineConfig::four_core_migration()
+    };
+    let mut m = Machine::new(config);
+    let mut w = suite::by_name("art").unwrap();
+    m.run(&mut *w, 2_000_000);
+    let s = m.stats();
+    // The L1 side never depends on the L2 protocol (mirrored L1s).
+    assert_eq!(s.dl1_misses, 227453);
+    // Invalidations kill remote copies, so the miss stream (and hence
+    // the controller's decisions) differs from migration mode.
+    assert_eq!(
+        (
+            s.l2_misses,
+            s.migrations,
+            s.invalidations,
+            s.coherence_updates
+        ),
+        (136736, 29, 19232, 0)
+    );
+}
+
+#[test]
+fn golden_art_dragon() {
+    let config = MachineConfig {
+        protocol: Protocol::Dragon,
+        ..MachineConfig::four_core_migration()
+    };
+    let mut m = Machine::new(config);
+    let mut w = suite::by_name("art").unwrap();
+    m.run(&mut *w, 2_000_000);
+    let s = m.stats();
+    assert_eq!(s.dl1_misses, 227453);
+    // Dragon updates copies in place, exactly like migration mode's
+    // store broadcast — so the hit/miss stream (and migrations) match
+    // `golden_art_migration`; only the accounting differs.
+    assert_eq!(
+        (
+            s.l2_misses,
+            s.migrations,
+            s.invalidations,
+            s.coherence_updates
+        ),
+        (143089, 31, 0, 86583)
+    );
 }
 
 #[test]
