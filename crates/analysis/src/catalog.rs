@@ -111,6 +111,12 @@ pub const CATALOG: &[Rule] = &[
         paper: "repo policy (memory orderings are load-bearing; unjustified orderings are unreviewable)",
     },
     Rule {
+        id: "E014",
+        kind: RuleKind::Static,
+        title: "wall span families are closed: every `families` constant is listed in `families::ALL`, and span call sites pass constants, never raw string literals",
+        paper: "repo policy (unregistered span families record nothing; the table is the /spans and flamegraph schema)",
+    },
+    Rule {
         id: "I101",
         kind: RuleKind::Runtime,
         title: "affinity values stay within the saturating range of the configured bit width",

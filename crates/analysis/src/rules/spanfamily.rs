@@ -1,0 +1,175 @@
+//! E014: the wall-clock span family table is closed.
+//!
+//! The flight recorder ([`execmig_obs::wall`]) keys every histogram,
+//! collapsed stack and `/spans` row by a *registered* family name: the
+//! constants in its `families` module, enumerated by `families::ALL`.
+//! An unregistered family silently records nothing (`enter` returns
+//! span id 0), so two drifts must be caught statically:
+//!
+//! - a family constant declared in the `families` module but missing
+//!   from `ALL` — it lints as registered yet never aggregates;
+//! - a call site passing a raw string literal to `wall::span`,
+//!   `wall::span_with_parent`, `.enter(…)` or `.enter_with_parent(…)`
+//!   instead of a `families::…` constant — the literal bypasses the
+//!   table entirely (and typos become invisible dead spans).
+//!
+//! Test modules and doc examples are exempt, as everywhere else: the
+//! wall's own unit tests deliberately probe the unregistered-family
+//! path with literals.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{self, TokKind, Token};
+use crate::workspace::Workspace;
+
+/// Runs E014.
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for krate in &ws.crates {
+        for file in &krate.files {
+            let exempt = lexer::test_regions(&file.toks);
+            check_table_closed(&file.rel, &file.toks, &exempt, diags);
+            check_literal_call_sites(&file.rel, &file.toks, &exempt, diags);
+        }
+    }
+}
+
+/// Every `&str` constant inside a `mod families { … }` must be listed
+/// in that module's `ALL` array.
+fn check_table_closed(
+    rel: &str,
+    toks: &[Token],
+    exempt: &[lexer::Region],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(open) = toks.windows(3).position(|w| {
+        w[0].kind == TokKind::Ident
+            && w[0].text == "mod"
+            && w[1].kind == TokKind::Ident
+            && w[1].text == "families"
+            && lexer::is_punct(&w[2], '{')
+    }) else {
+        return;
+    };
+    let body = module_body(toks, open + 2);
+    let mut names: Vec<&Token> = Vec::new();
+    let mut all: Vec<String> = Vec::new();
+    for k in 0..body.len().saturating_sub(3) {
+        // const NAME : … = …;
+        if !(body[k].kind == TokKind::Ident
+            && body[k].text == "const"
+            && body[k + 1].kind == TokKind::Ident
+            && lexer::is_punct(&body[k + 2], ':'))
+        {
+            continue;
+        }
+        let name = &body[k + 1];
+        if name.text == "ALL" {
+            // The registry itself: collect the identifiers of its
+            // bracketed initialiser.
+            let Some(bracket) = body[k..].iter().position(|t| lexer::is_punct(t, '[')) else {
+                continue;
+            };
+            // Skip the `& [ & str ]` of the type: the initialiser list
+            // is the *last* bracket group, after the `=`.
+            let Some(eq) = body[k..].iter().position(|t| lexer::is_punct(t, '=')) else {
+                continue;
+            };
+            let start = body[k..]
+                .iter()
+                .enumerate()
+                .position(|(i, t)| i > eq && lexer::is_punct(t, '['))
+                .unwrap_or(bracket);
+            for t in &body[k + start..] {
+                if lexer::is_punct(t, ']') {
+                    break;
+                }
+                if t.kind == TokKind::Ident {
+                    all.push(t.text.clone());
+                }
+            }
+        } else if body[k + 3..]
+            .iter()
+            .take_while(|t| !lexer::is_punct(t, '='))
+            .any(|t| t.kind == TokKind::Ident && t.text == "str")
+        {
+            names.push(name);
+        }
+    }
+    for name in names {
+        if !all.contains(&name.text) && !lexer::in_regions(name.pos, exempt) {
+            diags.push(Diagnostic::new(
+                "E014",
+                rel,
+                name.line,
+                format!(
+                    "span family constant `{}` is not listed in `families::ALL`; \
+                     an unlisted family never aggregates (histograms, /spans and \
+                     flamegraphs all key off the ALL table)",
+                    name.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `wall::span("…")` / `.enter("…")` with a raw string literal.
+fn check_literal_call_sites(
+    rel: &str,
+    toks: &[Token],
+    exempt: &[lexer::Region],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for k in 0..toks.len().saturating_sub(2) {
+        let [f, paren, arg] = [&toks[k], &toks[k + 1], &toks[k + 2]];
+        if !(f.kind == TokKind::Ident
+            && lexer::is_punct(paren, '(')
+            && arg.kind == TokKind::Str
+            && !lexer::in_regions(f.pos, exempt))
+        {
+            continue;
+        }
+        let qualified = |name: &str| -> bool {
+            // wall :: span — `::` lexes as two single-colon puncts.
+            f.text == name
+                && k >= 3
+                && toks[k - 3].kind == TokKind::Ident
+                && toks[k - 3].text == "wall"
+                && lexer::is_punct(&toks[k - 2], ':')
+                && lexer::is_punct(&toks[k - 1], ':')
+        };
+        let method =
+            |name: &str| -> bool { f.text == name && k >= 1 && lexer::is_punct(&toks[k - 1], '.') };
+        if qualified("span")
+            || qualified("span_with_parent")
+            || method("enter")
+            || method("enter_with_parent")
+        {
+            diags.push(Diagnostic::new(
+                "E014",
+                rel,
+                arg.line,
+                format!(
+                    "wall span family is the raw string literal \"{}\"; pass a \
+                     `wall::families::…` constant so the family table stays \
+                     closed (a literal typo becomes an invisible dead span)",
+                    arg.text
+                ),
+            ));
+        }
+    }
+}
+
+/// The tokens of a brace-delimited module body starting at its `{`.
+fn module_body(toks: &[Token], open: usize) -> &[Token] {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if lexer::is_punct(t, '{') {
+            depth += 1;
+        } else if lexer::is_punct(t, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return &toks[open + 1..k];
+            }
+        }
+    }
+    &toks[open + 1..]
+}

@@ -1,0 +1,34 @@
+//! E014 fixture: a span-family table with one orphan constant, plus
+//! one call site that bypasses the table with a raw string literal.
+//! The test module's literal probe must stay exempt.
+
+pub mod families {
+    pub const REGISTERED: &str = "fixture/registered";
+    // Violation: declared but missing from ALL — it would lint as a
+    // registered family yet never aggregate.
+    pub const ORPHAN: &str = "fixture/orphan";
+    pub const ALL: &[&str] = &[REGISTERED];
+}
+
+pub mod wall {
+    pub fn span(_family: &str) -> u64 {
+        0
+    }
+}
+
+pub fn well_behaved() -> u64 {
+    wall::span(families::REGISTERED)
+}
+
+pub fn leaky() -> u64 {
+    // Violation: a raw literal family bypasses the ALL table.
+    wall::span("fixture/raw-literal")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_literals_are_exempt() {
+        assert_eq!(super::wall::span("fixture/test-probe"), 0);
+    }
+}

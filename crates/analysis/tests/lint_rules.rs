@@ -39,6 +39,7 @@ fn golden_rule_counts() {
         ("E011", 1),
         ("E012", 2),
         ("E013", 2),
+        ("E014", 2),
     ]
     .into_iter()
     .collect();
@@ -182,10 +183,32 @@ fn raw_concurrency_paths_and_bare_orderings_are_flagged() {
 }
 
 #[test]
+fn span_family_table_must_be_closed() {
+    let diags = fixture_diags();
+    let e014 = by_rule(&diags, "E014");
+    assert_eq!(e014.len(), 2);
+    assert!(e014
+        .iter()
+        .all(|d| d.path == "crates/cache/src/wallspans.rs"));
+    // One orphan constant, one raw-literal call site; the constant
+    // call site and the test module's literal probe stay clean.
+    assert!(e014
+        .iter()
+        .any(|d| d.message.contains("ORPHAN") && d.message.contains("families::ALL")));
+    assert!(e014
+        .iter()
+        .any(|d| d.message.contains("fixture/raw-literal")));
+    assert!(!diags
+        .iter()
+        .any(|d| d.message.contains("fixture/test-probe")));
+    assert!(!diags.iter().any(|d| d.message.contains("REGISTERED")));
+}
+
+#[test]
 fn json_report_is_stable() {
     let diags = fixture_diags();
     let json = diag::render_json(&diags);
-    assert!(json.starts_with("{\"count\":21,"));
+    assert!(json.starts_with("{\"count\":23,"));
     assert!(json.contains("\"rule\":\"E001\""));
     assert!(json.contains("\"rule\":\"E009\""));
 }

@@ -5,8 +5,13 @@
 //! with `Bencher::iter` and `Bencher::iter_batched_ref` — on top of a
 //! calibrated measurement loop: `iter` doubles the batch size until one
 //! batch runs ≥ 1 ms, then times `sample_size` batches; batched
-//! benchmarks time one (internally looping) routine call per sample.
-//! Reported figures are the median, minimum, and p90 ns/iteration.
+//! benchmarks run one untimed warmup pass (first-touch page faults and
+//! cache fills happen off the clock) and then time one (internally
+//! looping) routine call per sample. Reported figures are the median,
+//! minimum, and p90 ns/iteration; quantiles use the floor index, so
+//! with small sample counts the p90 is never the single worst sample —
+//! together with the warmup this keeps p90 stable across runs instead
+//! of flapping on one cold outlier.
 //!
 //! Runner arguments: a bare substring filters benchmark ids, `--quick`
 //! cuts the sample count for smoke runs, `--json` prints the results
@@ -188,7 +193,10 @@ impl Group<'_> {
             if sorted.is_empty() {
                 return 0.0;
             }
-            let i = ((sorted.len() - 1) as f64 * q).round() as usize;
+            // Floor, not round: with n = 5 samples a rounded p90 index
+            // lands on the maximum, so a single cold sample (page
+            // faults, a scheduler hiccup) dominated the statistic.
+            let i = ((sorted.len() - 1) as f64 * q).floor() as usize;
             sorted[i]
         };
         let result = BenchResult {
@@ -255,12 +263,20 @@ impl Bencher {
 
     /// Times one `routine` call per sample over fresh, untimed
     /// `setup` state. The routine is expected to loop internally (it is
-    /// the "iteration" the group throughput refers to).
+    /// the "iteration" the group throughput refers to). One untimed
+    /// warmup pass runs first: freshly set-up state starts cold (lazy
+    /// page faults, empty caches, unprimed branch predictors), and
+    /// without the warmup that first-call cost landed in the timed
+    /// samples and inflated the tail quantiles.
     pub fn iter_batched_ref<S, R>(
         &mut self,
         mut setup: impl FnMut() -> S,
         mut routine: impl FnMut(&mut S) -> R,
     ) {
+        {
+            let mut state = setup();
+            black_box(routine(&mut state));
+        }
         for _ in 0..self.target_samples {
             let mut state = setup();
             let t = Instant::now();
@@ -308,7 +324,7 @@ mod tests {
     }
 
     #[test]
-    fn batched_counts_one_routine_per_sample() {
+    fn batched_counts_one_routine_per_sample_plus_warmup() {
         let mut r = test_runner();
         let mut g = r.benchmark_group("unit");
         g.sample_size(3);
@@ -322,8 +338,25 @@ mod tests {
                 |v| v.iter().map(|&b| b as u64).sum::<u64>(),
             )
         });
-        assert_eq!(setups, 3);
-        assert_eq!(r.results()[0].samples, 3);
+        assert_eq!(setups, 4, "one untimed warmup setup plus 3 samples");
+        assert_eq!(r.results()[0].samples, 3, "the warmup pass is not timed");
+    }
+
+    #[test]
+    fn small_sample_p90_excludes_the_worst_sample() {
+        // Five samples, one wild outlier (the cold-start shape that
+        // made checked-in p90s flap): the floor-index p90 reports the
+        // second-worst sample, never the outlier itself.
+        let mut r = test_runner();
+        let mut g = r.benchmark_group("unit");
+        g.sample_size(5);
+        g.bench_function("p90", |b| {
+            b.samples_ns = vec![100.0, 110.0, 1900.0, 105.0, 112.0];
+        });
+        let res = &r.results()[0];
+        assert_eq!(res.p90_ns, 112.0, "p90 index floors below the maximum");
+        assert_eq!(res.median_ns, 110.0);
+        assert_eq!(res.min_ns, 100.0);
     }
 
     #[test]

@@ -29,9 +29,13 @@ fn main() {
             .field("protocols", ["migration", "mesi", "dragon"]),
     );
 
-    let rows = match arg_value(&args, "--bench") {
-        Some(name) => coherence_compare::run_benchmark(&name, instructions),
-        None => coherence_compare::run_all_observed(instructions, threads, telemetry.hub()),
+    let rows = {
+        // The sweep root span: runner tasks parent to it across threads.
+        let _sweep = execmig_obs::wall::span(execmig_obs::wall::families::SWEEP);
+        match arg_value(&args, "--bench") {
+            Some(name) => coherence_compare::run_benchmark(&name, instructions),
+            None => coherence_compare::run_all_observed(instructions, threads, telemetry.obs()),
+        }
     };
     telemetry.finish();
     em.stats(

@@ -28,6 +28,7 @@ use execmig_check::fuzz::{diverges, generate, shrink, stress_configs, write_repr
 use execmig_check::Lockstep;
 use execmig_experiments::report::{arg_flag, arg_u64, arg_value};
 use execmig_machine::{MachineConfig, Protocol};
+use execmig_obs::{wall, Wall};
 use execmig_trace::suite;
 use std::fs::File;
 use std::io::BufWriter;
@@ -37,6 +38,9 @@ use std::process::exit;
 fn suite_lockstep(budget: u64, protocol: Protocol) -> bool {
     let mut clean = true;
     for name in suite::names() {
+        // Each lockstep case is one wall-clock span, so a traced run
+        // reports where differ time goes per case family.
+        let _case_span = wall::span(wall::families::DIFFER_CASE);
         let mut workload = suite::by_name(name).expect("suite name");
         let mut lockstep = Lockstep::new(MachineConfig {
             protocol,
@@ -68,6 +72,9 @@ fn fuzz_round(
     protocol: Option<Protocol>,
     repro_dir: &Path,
 ) -> bool {
+    // One span per fuzz round: generation plus every lockstep +
+    // shrink it triggers.
+    let _fuzz_span = wall::span(wall::families::DIFFER_FUZZ);
     let stream = generate(fuzz);
     let mut clean = true;
     for (name, config) in stress_configs() {
@@ -172,6 +179,11 @@ fn main() {
     let replay_path = arg_value(&args, "--replay");
     let run_suite = arg_flag(&args, "--suite") || (fuzz_rounds == 0 && replay_path.is_none());
 
+    // A local flight recorder for the differ's own wall-clock time:
+    // one slot, the main thread. Inert (and costless) without `trace`.
+    let recorder = Wall::with_threads(1);
+    let attached = Wall::ACTIVE && wall::attach(&recorder, 0);
+
     let mut clean = true;
     if let Some(path) = replay_path {
         clean &= replay(&path, config_filter.as_deref(), protocol);
@@ -191,6 +203,16 @@ fn main() {
             protocol,
             Path::new(&repro_dir),
         );
+    }
+    if attached {
+        let snap = recorder.snapshot();
+        for f in snap.families.iter().filter(|f| f.count > 0) {
+            eprintln!(
+                "differ wall: {:>12} x{:<4} p50 {} ns, p99 {} ns, p999 {} ns",
+                f.family, f.count, f.p50_ns, f.p99_ns, f.p999_ns
+            );
+        }
+        wall::detach();
     }
     if !clean {
         exit(1);

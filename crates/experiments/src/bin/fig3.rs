@@ -26,10 +26,13 @@ fn main() {
     let mut stream_stats = Vec::new();
 
     let configs = vec![Fig3Config::circular(), Fig3Config::half_random()];
-    let (results, _report) =
-        parallel_map_observed(configs.clone(), 2, telemetry.hub(), |config, _ctx| {
+    let (results, _report) = {
+        // The sweep root span: runner tasks parent to it across threads.
+        let _sweep = execmig_obs::wall::span(execmig_obs::wall::families::SWEEP);
+        parallel_map_observed(configs.clone(), 2, telemetry.obs(), |config, _ctx| {
             run(config)
-        });
+        })
+    };
     telemetry.finish();
 
     for (config, result) in configs.into_iter().zip(results) {

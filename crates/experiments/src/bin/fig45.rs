@@ -27,9 +27,13 @@ fn main() {
     em.budget(instructions);
     em.config(&config.to_json().field("protocol", arg_protocol(&args)));
 
-    let rows = match arg_value(&args, "--bench") {
-        Some(name) => vec![fig45::run_benchmark(&name, &config)],
-        None => fig45::run_all_observed(&config, threads, telemetry.hub()),
+    let rows = {
+        // The sweep root span: runner tasks parent to it across threads.
+        let _sweep = execmig_obs::wall::span(execmig_obs::wall::families::SWEEP);
+        match arg_value(&args, "--bench") {
+            Some(name) => vec![fig45::run_benchmark(&name, &config)],
+            None => fig45::run_all_observed(&config, threads, telemetry.obs()),
+        }
     };
     telemetry.finish();
     em.stats(Json::object().field("rows", rows.len()));

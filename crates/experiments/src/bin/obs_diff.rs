@@ -4,6 +4,14 @@
 //! Usage: `obs_diff BASELINE.json CANDIDATE.json [--threshold R]
 //!                  [--abs-floor N] [--only P1,P2,…] [--metric NAME]
 //!                  [--drift] [--json] [--quiet]`
+//!        `obs_diff --history [DIR] [--metric NAME] [--only P1,P2,…]`
+//!
+//! `--history` is informational (always exits 0 when DIR is readable):
+//! it scans DIR (default `.`) for checked-in `BENCH_<n>.json`
+//! baselines, orders them by revision number, and prints each kernel's
+//! metric trajectory (default `median_ns`) across revisions with the
+//! first→last relative trend — the long-view companion to the two-file
+//! regression gate.
 //!
 //! Metrics are lower-is-better; a relative increase beyond the
 //! threshold (default 0.10) is a regression. A *zero-baseline* leaf
@@ -19,7 +27,7 @@
 //! 0 within threshold, 1 regression (or any drift under `--drift`),
 //! 2 usage/IO error.
 
-use execmig_experiments::diff::{DiffConfig, DiffReport};
+use execmig_experiments::diff::{history, DiffConfig, DiffReport};
 use execmig_experiments::report::{arg_flag, arg_value};
 use execmig_experiments::TextTable;
 use execmig_obs::{json, Json};
@@ -28,6 +36,82 @@ use std::process::exit;
 fn load(path: &str) -> Result<Json, String> {
     let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     json::parse(&body).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `BENCH_<n>.json` baselines under `dir`, ordered by revision number.
+fn bench_baselines(dir: &str) -> Result<Vec<(u64, String)>, String> {
+    let mut found = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{dir}: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(rev) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        found.push((rev, entry.path().to_string_lossy().into_owned()));
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// The `--history` mode: per-kernel metric trajectories across every
+/// checked-in baseline. Informational — exits 0 unless DIR or a
+/// baseline is unreadable.
+fn run_history(dir: &str, metric: &str, only: &[String]) -> ! {
+    let baselines = match bench_baselines(dir) {
+        Ok(b) if b.is_empty() => {
+            eprintln!("obs_diff: no BENCH_<n>.json baselines under {dir}");
+            exit(2);
+        }
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("obs_diff: {e}");
+            exit(2);
+        }
+    };
+    let docs: Vec<Json> = baselines
+        .iter()
+        .map(|(_, path)| {
+            load(path).unwrap_or_else(|e| {
+                eprintln!("obs_diff: {e}");
+                exit(2);
+            })
+        })
+        .collect();
+    let mut rows = history(&docs, metric);
+    rows.retain(|r| {
+        let rel = r.path.strip_prefix('/').unwrap_or(&r.path);
+        only.is_empty() || only.iter().any(|p| rel.starts_with(p.as_str()))
+    });
+    let mut header: Vec<String> = vec!["kernel".to_string()];
+    header.extend(baselines.iter().map(|(rev, _)| format!("BENCH_{rev}")));
+    header.push("trend".to_string());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(&header_refs);
+    for row in &rows {
+        let mut cells = vec![row.path.strip_prefix('/').unwrap_or(&row.path).to_string()];
+        cells.extend(row.values.iter().map(|v| match v {
+            Some(v) => format!("{v:.1}"),
+            None => "-".to_string(),
+        }));
+        cells.push(match row.trend() {
+            Some(t) => format!("{:+.1}%", t * 100.0),
+            None => "-".to_string(),
+        });
+        t.row(&cells);
+    }
+    print!("{}", t.render());
+    println!(
+        "obs_diff: {} kernels x {} baselines ({} trajectories, informational)",
+        rows.len(),
+        baselines.len(),
+        metric
+    );
+    exit(0);
 }
 
 fn main() {
@@ -51,11 +135,26 @@ fn main() {
             })
             .collect()
     };
+    if arg_flag(&args, "--history") {
+        let dir = files.first().map_or(".", |s| s.as_str());
+        let metric = arg_value(&args, "--metric").unwrap_or_else(|| "median_ns".to_string());
+        let only: Vec<String> = arg_value(&args, "--only")
+            .map(|v| {
+                v.split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        run_history(dir, &metric, &only);
+    }
     let &[baseline, candidate] = files.as_slice() else {
         eprintln!(
             "usage: obs_diff BASELINE.json CANDIDATE.json \
              [--threshold R] [--abs-floor N] [--only P1,P2,…] \
-             [--metric NAME] [--drift] [--json] [--quiet]"
+             [--metric NAME] [--drift] [--json] [--quiet] \
+             | obs_diff --history [DIR] [--metric NAME] [--only P1,P2,…]"
         );
         exit(2);
     };

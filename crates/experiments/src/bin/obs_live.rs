@@ -28,7 +28,7 @@ use execmig_experiments::table2;
 use execmig_experiments::telemetry::Telemetry;
 use execmig_obs::model::sync::{AtomicBool, Ordering};
 use execmig_obs::model::thread;
-use execmig_obs::{Hub, Json, Registry, TelemetryBudget};
+use execmig_obs::{wall, Hub, Json, Registry, TelemetryBudget, Wall, WallBudget};
 
 fn print_progress(hub: &Hub) {
     let snap = hub.snapshot();
@@ -85,7 +85,11 @@ fn main() {
                 }
             }
         });
-        let rows = table2::run_all_observed(instructions, threads, telemetry.hub());
+        let rows = {
+            // The sweep root span: runner tasks parent to it.
+            let _sweep = wall::span(wall::families::SWEEP);
+            table2::run_all_observed(instructions, threads, telemetry.obs())
+        };
         // ord: Relaxed — flag only; monitor.join() synchronises.
         stop.store(true, Ordering::Relaxed);
         monitor.join().expect("monitor thread");
@@ -93,14 +97,18 @@ fn main() {
     });
     let run_ns = t0.elapsed().as_nanos() as u64;
 
-    // Overhead self-accounting: the hub measured its own cost; hold it
-    // to the default 2 % budget.
+    // Overhead self-accounting: the hub and the wall each measured
+    // their own cost; hold both to the default 2 % budget.
     let overhead = hub.overhead();
     let verdict = TelemetryBudget::default().verdict(&overhead, run_ns);
+    let wall_overhead = telemetry.wall().map(Wall::overhead).unwrap_or_default();
+    let wall_verdict = WallBudget::default().verdict(&wall_overhead, run_ns);
     let mut registry = Registry::new();
     registry.counter("rows_done", rows.len() as u64);
     registry.counter("hub_beats", overhead.beats);
     registry.gauge("overhead_fraction", verdict.fraction);
+    registry.counter("wall_spans", wall_overhead.spans);
+    registry.gauge("wall_overhead_fraction", wall_verdict.fraction);
     telemetry.metrics().update(registry);
 
     if arg_flag(&args, "--json") {
@@ -109,6 +117,8 @@ fn main() {
             .field("run_ns", run_ns)
             .field("overhead", overhead)
             .field("budget", verdict)
+            .field("wall_overhead", wall_overhead)
+            .field("wall_budget", wall_verdict)
             .field("snapshot", hub.snapshot());
         println!("{}", report.pretty());
     } else {
@@ -122,6 +132,18 @@ fn main() {
             verdict.max_fraction * 100.0,
             if verdict.within { "OK" } else { "EXCEEDED" }
         );
+        println!(
+            "wall overhead: {} spans ({} dropped), {:.4} % of run (budget {:.0} %): {}",
+            wall_overhead.spans,
+            wall_overhead.dropped,
+            wall_verdict.fraction * 100.0,
+            wall_verdict.max_fraction * 100.0,
+            if wall_verdict.within {
+                "OK"
+            } else {
+                "EXCEEDED"
+            }
+        );
         if !Hub::ACTIVE {
             println!("(built without `trace`: endpoints served, no beats recorded)");
         }
@@ -132,7 +154,7 @@ fn main() {
         thread::sleep(Duration::from_secs(linger_s));
     }
     telemetry.finish();
-    if !verdict.within {
+    if !verdict.within || !wall_verdict.within {
         std::process::exit(2);
     }
 }

@@ -31,7 +31,12 @@ fn main() {
             .field("protocol", arg_protocol(&args)),
     );
 
-    let rows = table1::run_all_observed(instructions, threads, telemetry.hub());
+    let rows = {
+        // The sweep root span: every runner task parents to it, so
+        // `/spans` and the flamegraph see one causal tree per run.
+        let _sweep = execmig_obs::wall::span(execmig_obs::wall::families::SWEEP);
+        table1::run_all_observed(instructions, threads, telemetry.obs())
+    };
     telemetry.finish();
     em.stats(
         Json::object()

@@ -34,9 +34,13 @@ fn main() {
             .field("protocol", protocol),
     );
 
-    let rows = match arg_value(&args, "--bench") {
-        Some(name) => vec![table2::run_benchmark_with(&name, instructions, protocol)],
-        None => table2::run_all_observed_with(instructions, threads, protocol, telemetry.hub()),
+    let rows = {
+        // The sweep root span: runner tasks parent to it across threads.
+        let _sweep = execmig_obs::wall::span(execmig_obs::wall::families::SWEEP);
+        match arg_value(&args, "--bench") {
+            Some(name) => vec![table2::run_benchmark_with(&name, instructions, protocol)],
+            None => table2::run_all_observed_with(instructions, threads, protocol, telemetry.obs()),
+        }
     };
     telemetry.finish();
     em.stats(

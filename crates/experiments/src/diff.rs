@@ -192,6 +192,61 @@ impl DiffReport {
     }
 }
 
+/// One metric leaf's trajectory across an ordered sequence of
+/// documents (e.g. every checked-in `BENCH_*.json` baseline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRow {
+    /// Slash-separated leaf path, without the metric segment.
+    pub path: String,
+    /// The leaf's value in each document, `None` where absent (a
+    /// kernel that did not exist yet, or was retired).
+    pub values: Vec<Option<f64>>,
+}
+
+impl HistoryRow {
+    /// Relative change from the first to the last present value;
+    /// `None` with fewer than two data points.
+    pub fn trend(&self) -> Option<f64> {
+        let mut present = self.values.iter().flatten();
+        let first = *present.next()?;
+        let last = *present.next_back().or(Some(&first))?;
+        if first == 0.0 {
+            return None;
+        }
+        Some((last - first) / first.abs())
+    }
+}
+
+/// Collects the per-leaf trajectory of `metric` across `docs` (in the
+/// order given — callers sort baselines by revision first). Leaves are
+/// keyed the same way [`flatten`] keys them, so bench arrays pair by
+/// kernel `id` across revisions even when reordered.
+pub fn history(docs: &[Json], metric: &str) -> Vec<HistoryRow> {
+    let flat: Vec<BTreeMap<String, f64>> = docs.iter().map(flatten).collect();
+    let mut paths: Vec<String> = Vec::new();
+    for doc in &flat {
+        for path in doc.keys() {
+            let Some(stem) = path.strip_suffix(metric).and_then(|p| p.strip_suffix('/')) else {
+                continue;
+            };
+            if !paths.iter().any(|p| p == stem) {
+                paths.push(stem.to_string());
+            }
+        }
+    }
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|stem| {
+            let leaf = format!("{stem}/{metric}");
+            HistoryRow {
+                values: flat.iter().map(|doc| doc.get(&leaf).copied()).collect(),
+                path: stem,
+            }
+        })
+        .collect()
+}
+
 /// Flattens `json` to its numeric leaves. Objects append `/key`;
 /// arrays whose elements carry a string `id` field key by
 /// `/<id>`, other arrays by `/<index>`; booleans count as 0/1;
@@ -383,6 +438,29 @@ mod tests {
         r.retain(&[], Some("samples"));
         assert!(r.deltas.iter().all(|d| d.path.ends_with("/samples")));
         assert_eq!(r.deltas.len(), 2);
+    }
+
+    #[test]
+    fn history_tracks_kernels_across_revisions() {
+        let docs = vec![
+            Json::Arr(vec![bench("cache/a", 100.0), bench("gone/b", 7.0)]),
+            Json::Arr(vec![bench("cache/a", 110.0)]),
+            Json::Arr(vec![bench("cache/a", 120.0), bench("new/c", 3.0)]),
+        ];
+        let rows = history(&docs, "median_ns");
+        assert_eq!(rows.len(), 3, "union of kernels, in path order");
+        let a = &rows[0];
+        assert_eq!(a.path, "/cache/a");
+        assert_eq!(a.values, vec![Some(100.0), Some(110.0), Some(120.0)]);
+        assert!((a.trend().expect("two points") - 0.20).abs() < 1e-12);
+        let b = &rows[1];
+        assert_eq!(b.path, "/gone/b");
+        assert_eq!(b.values, vec![Some(7.0), None, None]);
+        assert_eq!(b.trend(), Some(0.0), "single point: flat");
+        let c = &rows[2];
+        assert_eq!(c.values, vec![None, None, Some(3.0)]);
+        // Other metrics' leaves never leak in.
+        assert!(history(&docs, "nope").is_empty());
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! Thread-parallel experiment execution, with span-timer telemetry and
-//! optional live-telemetry hub beats.
+//! Thread-parallel experiment execution, with span-timer telemetry,
+//! optional live-telemetry hub beats, and wall-clock flight-recorder
+//! spans.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use execmig_obs::model::sync::Mutex;
 use execmig_obs::model::thread;
-use execmig_obs::{Beat, Hub, HubWorker, Json, Span, SpanSet, ToJson, WorkerState};
+use execmig_obs::wall::{self, families};
+use execmig_obs::{Beat, Hub, HubWorker, Json, Span, SpanSet, ToJson, Wall, WorkerState};
 
 /// Wall-clock telemetry of one [`parallel_map_timed`] run: per-task
 /// spans (which thread ran what, when, for how long) and the derived
@@ -95,7 +97,42 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    parallel_map_observed(items, threads, None, |item, _| f(item))
+    parallel_map_observed(items, threads, Obs::none(), |item, _| f(item))
+}
+
+/// The observability sinks one observed run publishes into: the
+/// live-telemetry [`Hub`] (simulated-time progress beats) and the
+/// wall-clock [`Wall`] flight recorder (span latencies). Either side
+/// may be absent; [`Obs::none`] observes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Obs<'a> {
+    /// The hub workers publish claim/completion beats into.
+    pub hub: Option<&'a Hub>,
+    /// The wall workers record task/claim/run/complete spans into.
+    pub wall: Option<&'a Wall>,
+}
+
+impl<'a> Obs<'a> {
+    /// Observe nothing (plain [`parallel_map_timed`] behaviour).
+    pub fn none() -> Obs<'static> {
+        Obs {
+            hub: None,
+            wall: None,
+        }
+    }
+
+    /// Both sinks, each optional.
+    pub fn new(hub: Option<&'a Hub>, wall: Option<&'a Wall>) -> Obs<'a> {
+        Obs { hub, wall }
+    }
+
+    /// Hub beats only (no wall-clock spans).
+    pub fn hub_only(hub: &'a Hub) -> Obs<'a> {
+        Obs {
+            hub: Some(hub),
+            wall: None,
+        }
+    }
 }
 
 /// What an observed task needs to publish consistent mid-task beats:
@@ -112,7 +149,8 @@ pub struct ObsCtx<'a> {
 }
 
 /// Like [`parallel_map_timed`], additionally publishing live progress
-/// beats into a telemetry [`Hub`].
+/// beats into a telemetry [`Hub`] and wall-clock spans into a [`Wall`]
+/// flight recorder (both via `obs`, either optional).
 ///
 /// Each worker thread claims its hub slot once (`hub.worker(w)`) and
 /// publishes a `Running` beat on every task claim and completion, and a
@@ -121,9 +159,17 @@ pub struct ObsCtx<'a> {
 /// an [`ObsCtx`] (when telemetry is active) to publish finer-grained
 /// beats mid-task, e.g. via `Machine::run_observed`.
 ///
-/// With `hub` as `None`, or without the `trace` feature
-/// (`Hub::ACTIVE` false), behaviour and results are exactly
-/// [`parallel_map_timed`]'s.
+/// With a wall attached, each worker additionally claims wall slot `w`
+/// as its thread context ([`wall::attach`]) and records one
+/// `runner/task` span per task — with `runner/claim`, `runner/run`,
+/// and `runner/complete` children — parented to whatever span the
+/// *calling* thread had open (e.g. the binaries' `sweep` root), so
+/// `/spans` and the flamegraph see the full causal tree. Task closures
+/// open further spans (e.g. `machine/block`) with no extra plumbing.
+///
+/// With `obs` as [`Obs::none`], or without the `trace` feature
+/// (`Hub::ACTIVE`/`Wall::ACTIVE` false), behaviour and results are
+/// exactly [`parallel_map_timed`]'s.
 ///
 /// # Panics
 ///
@@ -131,7 +177,7 @@ pub struct ObsCtx<'a> {
 pub fn parallel_map_observed<T, R, F>(
     items: Vec<T>,
     threads: usize,
-    hub: Option<&Hub>,
+    obs: Obs<'_>,
     f: F,
 ) -> (Vec<R>, RunnerReport)
 where
@@ -140,6 +186,10 @@ where
     F: Fn(T, Option<ObsCtx<'_>>) -> R + Sync,
 {
     assert!(threads > 0, "need at least one thread");
+    let hub = obs.hub;
+    // The caller's innermost open span (its sweep root, if any)
+    // parents every task span across the worker threads.
+    let sweep_root = wall::current_id();
     let n = items.len();
     let spans = SpanSet::new();
     if n == 0 {
@@ -176,6 +226,14 @@ where
                     } else {
                         None
                     };
+                    // Claim wall slot w as this thread's span context:
+                    // the flight recorder samples this thread's stack
+                    // and task spans nest machine-block spans with no
+                    // handle threading. False when tracing is off.
+                    let wall_attached = match obs.wall {
+                        Some(wl) if Wall::ACTIVE => wall::attach(wl, w),
+                        _ => false,
+                    };
                     let mut tasks_done = 0u64;
                     let mut results = Vec::new();
                     let mut timings = Vec::new();
@@ -183,7 +241,14 @@ where
                         if panicked.lock().expect("panic slot").is_some() {
                             break;
                         }
-                        let Some((i, item)) = queue.lock().expect("task queue").next() else {
+                        let task_span = wall::span_with_parent(families::TASK, sweep_root);
+                        let claim_span = wall::span(families::CLAIM);
+                        let claimed = queue.lock().expect("task queue").next();
+                        let Some((i, item)) = claimed else {
+                            // Nothing was claimed: these spans cover no
+                            // task, so discard rather than record them.
+                            claim_span.cancel();
+                            task_span.cancel();
                             break;
                         };
                         if Hub::ACTIVE {
@@ -196,14 +261,20 @@ where
                                 });
                             }
                         }
+                        drop(claim_span);
                         let start_us = spans.wall_micros();
                         let ctx = hub_worker.as_ref().map(|worker| ObsCtx {
                             worker,
                             task: i as u64,
                             tasks_done,
                         });
-                        match catch_unwind(AssertUnwindSafe(|| f(item, ctx))) {
+                        let outcome = {
+                            let _run_span = wall::span(families::RUN);
+                            catch_unwind(AssertUnwindSafe(|| f(item, ctx)))
+                        };
+                        match outcome {
                             Ok(result) => {
+                                let _complete_span = wall::span(families::COMPLETE);
                                 let duration_us = spans.wall_micros().saturating_sub(start_us);
                                 results.push((i, result));
                                 timings.push((i, start_us, duration_us));
@@ -236,6 +307,9 @@ where
                                 ..Beat::idle()
                             });
                         }
+                    }
+                    if wall_attached {
+                        wall::detach();
                     }
                     (results, timings)
                 })

@@ -98,12 +98,17 @@ pub fn run_benchmark_observed(
 
 /// Runs the whole suite on `threads` workers.
 pub fn run_all(instructions: u64, threads: usize) -> Vec<Table1Row> {
-    run_all_observed(instructions, threads, None)
+    run_all_observed(instructions, threads, crate::runner::Obs::none())
 }
 
-/// Runs the whole suite with live telemetry into `hub` (when given).
-pub fn run_all_observed(instructions: u64, threads: usize, hub: Option<&Hub>) -> Vec<Table1Row> {
-    crate::runner::parallel_map_observed(suite::names(), threads, hub, |name, ctx| {
+/// Runs the whole suite with live observability into `obs` (hub beats
+/// and/or wall-clock spans, when given).
+pub fn run_all_observed(
+    instructions: u64,
+    threads: usize,
+    obs: crate::runner::Obs<'_>,
+) -> Vec<Table1Row> {
+    crate::runner::parallel_map_observed(suite::names(), threads, obs, |name, ctx| {
         run_benchmark_observed(name, instructions, ctx.as_ref())
     })
     .0

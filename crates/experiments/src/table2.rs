@@ -173,16 +173,17 @@ pub fn run_benchmark_observed_with(
 
 /// Runs the whole suite.
 pub fn run_all(instructions: u64, threads: usize) -> Vec<Table2Row> {
-    run_all_observed(instructions, threads, None)
+    run_all_observed(instructions, threads, crate::runner::Obs::none())
 }
 
-/// Runs the whole suite with live telemetry into `hub` (when given).
+/// Runs the whole suite with live observability into `obs` (hub beats
+/// and/or wall-clock spans, when given).
 pub fn run_all_observed(
     instructions: u64,
     threads: usize,
-    hub: Option<&execmig_obs::Hub>,
+    obs: crate::runner::Obs<'_>,
 ) -> Vec<Table2Row> {
-    run_all_observed_with(instructions, threads, Protocol::MigrationMode, hub)
+    run_all_observed_with(instructions, threads, Protocol::MigrationMode, obs)
 }
 
 /// Runs the whole suite under the given L2 coherence backend.
@@ -190,9 +191,9 @@ pub fn run_all_observed_with(
     instructions: u64,
     threads: usize,
     protocol: Protocol,
-    hub: Option<&execmig_obs::Hub>,
+    obs: crate::runner::Obs<'_>,
 ) -> Vec<Table2Row> {
-    crate::runner::parallel_map_observed(suite::names(), threads, hub, |name, ctx| {
+    crate::runner::parallel_map_observed(suite::names(), threads, obs, |name, ctx| {
         run_benchmark_observed_with(name, instructions, protocol, ctx.as_ref())
     })
     .0

@@ -8,20 +8,23 @@
 //! use execmig_experiments::telemetry::Telemetry;
 //!
 //! let telemetry = Telemetry::from_args(&args, 4);
-//! let (rows, report) = parallel_map_observed(vec![1u64, 2, 3], 4, telemetry.hub(), |x, _w| x);
+//! let (rows, report) = parallel_map_observed(vec![1u64, 2, 3], 4, telemetry.obs(), |x, _w| x);
 //! telemetry.finish();
 //! ```
 //!
 //! While the run is in flight, `curl http://<addr>/progress` shows
-//! per-worker state, `/healthz` the stall watchdog, and `/metrics` the
-//! Prometheus series. Without `--serve-telemetry` everything here is
-//! inert; without the `trace` feature the endpoints still answer, with
-//! empty per-worker data (`Hub::ACTIVE` is false).
+//! per-worker state, `/spans` the wall-clock span latencies, `/healthz`
+//! the stall watchdog, and `/metrics` the Prometheus series. Without
+//! `--serve-telemetry` everything here is inert; without the `trace`
+//! feature the endpoints still answer, with empty per-worker data
+//! (`Hub::ACTIVE` is false).
 
 use execmig_obs::model::sync::{Arc, Mutex};
-use execmig_obs::{Hub, HubConfig, MetricsProvider, Registry, TelemetryServer};
+use execmig_obs::serve::DEFAULT_MAX_CONNECTIONS;
+use execmig_obs::{wall, Hub, HubConfig, MetricsProvider, Registry, TelemetryServer, Wall};
 
 use crate::report::arg_value;
+use crate::runner::Obs;
 
 /// Default retired-instruction interval between mid-task beats
 /// (`Machine::run_observed` and the sweep loops): frequent enough that
@@ -61,11 +64,13 @@ impl SharedRegistry {
 }
 
 /// The live-telemetry wiring of one experiment run: a [`Hub`] for the
-/// workers, a [`SharedRegistry`] for `/metrics`, and (when
+/// workers, a [`Wall`] flight recorder for wall-clock spans, a
+/// [`SharedRegistry`] for `/metrics`, and (when
 /// `--serve-telemetry <addr>` was given) the HTTP server itself.
 #[derive(Debug)]
 pub struct Telemetry {
     hub: Hub,
+    wall: Wall,
     metrics: SharedRegistry,
     server: Option<TelemetryServer>,
 }
@@ -82,12 +87,22 @@ impl Telemetry {
     /// directly (`None` = telemetry off).
     pub fn new(addr: Option<&str>, workers: usize) -> Telemetry {
         let hub = Hub::new(HubConfig::with_workers(workers));
+        // One wall slot per worker plus a last slot for the driver
+        // thread, so the binaries' `sweep` root span has somewhere to
+        // record.
+        let wall = Wall::with_threads(workers + 1);
         let metrics = SharedRegistry::new();
         let server = addr.and_then(|addr| {
-            match TelemetryServer::start(addr, hub.clone(), metrics.provider()) {
+            match TelemetryServer::start_with_wall(
+                addr,
+                hub.clone(),
+                wall.clone(),
+                metrics.provider(),
+                DEFAULT_MAX_CONNECTIONS,
+            ) {
                 Ok(server) => {
                     eprintln!(
-                        "telemetry: serving /metrics /progress /healthz on http://{}",
+                        "telemetry: serving /metrics /progress /spans /healthz on http://{}",
                         server.local_addr()
                     );
                     if !Hub::ACTIVE {
@@ -105,8 +120,16 @@ impl Telemetry {
                 }
             }
         });
+        if server.is_some() && Wall::ACTIVE {
+            // Attach the calling (driver) thread to the spare wall
+            // slot: the binaries' sweep root span and any other
+            // driver-side spans record there. Workers claim 0..workers
+            // inside the runner.
+            wall::attach(&wall, workers);
+        }
         Telemetry {
             hub,
+            wall,
             metrics,
             server,
         }
@@ -118,6 +141,18 @@ impl Telemetry {
     /// entirely.
     pub fn hub(&self) -> Option<&Hub> {
         self.server.is_some().then_some(&self.hub)
+    }
+
+    /// The wall-clock flight recorder; `None` when no server is up
+    /// (symmetric with [`hub`](Self::hub)).
+    pub fn wall(&self) -> Option<&Wall> {
+        self.server.is_some().then_some(&self.wall)
+    }
+
+    /// Both observability sinks bundled for
+    /// [`parallel_map_observed`](crate::runner::parallel_map_observed).
+    pub fn obs(&self) -> Obs<'_> {
+        Obs::new(self.hub(), self.wall())
     }
 
     /// The shared registry backing `/metrics`.
@@ -135,8 +170,10 @@ impl Telemetry {
         self.server.as_ref().map(TelemetryServer::local_addr)
     }
 
-    /// Prints the hub's overhead self-accounting (when serving) and
-    /// shuts the server down. Call once the sweep is finished.
+    /// Prints the hub's and wall's overhead self-accounting (when
+    /// serving) and shuts the server down. Call once the sweep is
+    /// finished — on the thread that created the telemetry, so the
+    /// driver's wall context is detached with it.
     pub fn finish(self) {
         if let Some(server) = self.server {
             let overhead = self.hub.overhead();
@@ -148,6 +185,26 @@ impl Telemetry {
                 overhead.publish_ns,
                 overhead.merge_ns
             );
+            if Wall::ACTIVE {
+                let wall_overhead = self.wall.overhead();
+                let verdict = self.wall.budget_verdict();
+                eprintln!(
+                    "telemetry: wall {} spans ({} dropped), {} ns record + {} ns merge \
+                     + {} ns sample = {:.4}% of uptime ({})",
+                    wall_overhead.spans,
+                    wall_overhead.dropped,
+                    wall_overhead.record_ns,
+                    wall_overhead.merge_ns,
+                    wall_overhead.sample_ns,
+                    verdict.fraction * 100.0,
+                    if verdict.within {
+                        "within budget"
+                    } else {
+                        "OVER BUDGET"
+                    }
+                );
+                wall::detach();
+            }
             server.shutdown();
         }
     }

@@ -9,7 +9,7 @@
 
 #![cfg(execmig_model)]
 
-use execmig_experiments::runner::{parallel_map, parallel_map_observed};
+use execmig_experiments::runner::{parallel_map, parallel_map_observed, Obs};
 use execmig_model::{explore_with, Config};
 
 /// Two workers racing a three-task queue: under every interleaving each
@@ -51,7 +51,7 @@ fn done_beats_are_never_lost() {
                 stall_beats: 1_000,
             });
             let (out, _report) =
-                parallel_map_observed(vec![1u64, 2], 2, Some(&hub), |x, _ctx| x + 1);
+                parallel_map_observed(vec![1u64, 2], 2, Obs::hub_only(&hub), |x, _ctx| x + 1);
             assert_eq!(out, vec![2, 3]);
             let snap = hub.snapshot();
             assert_eq!(snap.overhead.dropped, 0, "ring never filled");

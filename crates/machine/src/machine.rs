@@ -3,7 +3,7 @@
 use execmig_cache::{Cache, FillIfAbsent};
 use execmig_core::MigrationController;
 use execmig_obs::{
-    Beat, EventKind, Histogram, Hub, HubWorker, ProfileConfig, ProfileCumulative, Profiler,
+    wall, Beat, EventKind, Histogram, Hub, HubWorker, ProfileConfig, ProfileCumulative, Profiler,
     Registry, Tracer, WorkerState,
 };
 use execmig_trace::{AccessKind, LineAddr, LineSize, Workload};
@@ -284,6 +284,11 @@ impl Machine {
     ) {
         let period = beat_period.max(1);
         let mut next_beat = workload.instructions().saturating_add(period);
+        // One wall-clock span per beat-period block, recorded into the
+        // calling thread's attached flight-recorder context (a no-op
+        // when unattached or without `trace`). The spans are pure
+        // timers — the simulation path stays byte-for-byte `run`'s.
+        let mut block_span = Some(wall::span(wall::families::MACHINE_BLOCK));
         while workload.instructions() < instructions {
             let access = workload.next_access();
             let now = workload.instructions();
@@ -296,8 +301,14 @@ impl Machine {
             if Hub::ACTIVE && now >= next_beat {
                 worker.publish(self.progress_beat(WorkerState::Running, task, tasks_done));
                 next_beat = now.saturating_add(period);
+                // Close the finished block before opening the next, so
+                // the guards nest LIFO on the thread's span stack.
+                block_span.take();
+                block_span = Some(wall::span(wall::families::MACHINE_BLOCK));
             }
         }
+        // Close the trailing block before the final beat is published.
+        block_span.take();
         if Hub::ACTIVE {
             worker.publish(self.progress_beat(WorkerState::Running, task, tasks_done));
         }

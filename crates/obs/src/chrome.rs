@@ -14,6 +14,13 @@
 //! (`F`-counter flips every few hundred to few thousand references,
 //! affinity settling over tens of Minstr).
 //!
+//! A second clock domain can ride alongside: [`render_wall_trace`]
+//! renders the wall-clock flight recorder's retained spans (real
+//! nanoseconds, as microsecond timestamps) under their own process id,
+//! and [`merge_traces`] splices both documents into one dual-clock
+//! trace — simulated time as process 0, wall-clock time as process 1,
+//! side by side in the same viewer.
+//!
 //! Everything here is plain data transformation: it runs identically
 //! with or without the `trace` feature (the inputs are just empty
 //! slices when tracing is compiled out).
@@ -21,24 +28,39 @@
 use crate::event::{EventKind, TraceEvent};
 use crate::json::Json;
 use crate::profile::ProfileRecord;
+use crate::wall::RetainedSpan;
 
-/// The process id used for all tracks.
+/// The process id of the simulated-time tracks.
 const PID: u64 = 0;
+
+/// The process id of the wall-clock tracks in a dual-clock trace.
+pub const WALL_PID: u64 = 1;
 
 /// Incremental builder for a Trace Event Format document.
 #[derive(Debug, Default)]
 pub struct ChromeTraceBuilder {
+    pid: u64,
     events: Vec<Json>,
 }
 
 impl ChromeTraceBuilder {
-    /// An empty trace.
+    /// An empty trace on process id 0 (the simulated-time clock).
     pub fn new() -> Self {
-        ChromeTraceBuilder::default()
+        ChromeTraceBuilder::with_pid(PID)
+    }
+
+    /// An empty trace whose tracks live under `pid` — a separate
+    /// process group in the viewer, which is how a second clock domain
+    /// (e.g. [`WALL_PID`]) coexists with the simulated-time tracks.
+    pub fn with_pid(pid: u64) -> Self {
+        ChromeTraceBuilder {
+            pid,
+            events: Vec::new(),
+        }
     }
 
     fn push(&mut self, ph: &str, extra: Json) {
-        let mut obj = Json::object().field("ph", ph).field("pid", PID);
+        let mut obj = Json::object().field("ph", ph).field("pid", self.pid);
         if let (Json::Obj(dst), Json::Obj(src)) = (&mut obj, extra) {
             dst.extend(src);
         }
@@ -76,6 +98,22 @@ impl ChromeTraceBuilder {
                 .field("cat", "residency")
                 .field("ts", ts)
                 .field("dur", dur),
+        );
+    }
+
+    /// A complete slice with an explicit category and extra `args`
+    /// payload (used by the wall-clock span export to carry span and
+    /// parent ids).
+    pub fn complete_in(&mut self, tid: u64, name: &str, cat: &str, ts: u64, dur: u64, args: Json) {
+        self.push(
+            "X",
+            Json::object()
+                .field("tid", tid)
+                .field("name", name)
+                .field("cat", cat)
+                .field("ts", ts)
+                .field("dur", dur)
+                .field("args", args),
         );
     }
 
@@ -257,6 +295,58 @@ pub fn render_machine_trace(
     t.build()
 }
 
+/// Renders the wall-clock flight recorder's retained spans as a trace
+/// under [`WALL_PID`]: one thread track per wall slot, each closed
+/// span a complete slice with its span/parent ids in `args`.
+/// Timestamps are wall nanoseconds mapped to the format's microsecond
+/// field at ns resolution divided by 1000 (sub-µs spans render with
+/// duration 0 but keep their exact ids).
+///
+/// `threads` bounds the named thread tracks; by convention the runner
+/// uses slots `0..workers` for workers and the last slot for the
+/// driver thread.
+pub fn render_wall_trace(spans: &[RetainedSpan], threads: usize) -> Json {
+    let mut t = ChromeTraceBuilder::with_pid(WALL_PID);
+    t.process_name("execmig wall clock");
+    for i in 0..threads as u64 {
+        let name = if threads > 1 && i == threads as u64 - 1 {
+            "driver".to_string()
+        } else {
+            format!("worker {i}")
+        };
+        t.thread_name(i, &name);
+    }
+    for s in spans {
+        t.complete_in(
+            s.thread as u64,
+            &s.family,
+            "wall",
+            s.start_ns / 1000,
+            s.dur_ns / 1000,
+            Json::object().field("id", s.id).field("parent", s.parent),
+        );
+    }
+    t.build()
+}
+
+/// Splices two built trace documents into one: the union of their
+/// `traceEvents` under one `displayTimeUnit`. With
+/// [`render_machine_trace`] (pid 0, simulated time) and
+/// [`render_wall_trace`] ([`WALL_PID`], wall-clock time) this yields
+/// the dual-clock view — both process groups side by side in the same
+/// viewer, each on its own clock.
+pub fn merge_traces(a: Json, b: Json) -> Json {
+    let mut events = Vec::new();
+    for doc in [a, b] {
+        if let Some(Json::Arr(items)) = doc.get("traceEvents") {
+            events.extend(items.iter().cloned());
+        }
+    }
+    Json::object()
+        .field("traceEvents", Json::Arr(events))
+        .field("displayTimeUnit", "ms")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +475,70 @@ mod tests {
         // Metadata only: process + 4 thread names, no slices.
         assert_eq!(evs.len(), 5);
         assert!(json::parse(&doc.compact()).is_ok());
+    }
+
+    #[test]
+    fn wall_trace_and_dual_clock_merge() {
+        let spans = [
+            RetainedSpan {
+                id: (1 << 48) | 1,
+                parent: 0,
+                family: "sweep".to_string(),
+                thread: 1,
+                start_ns: 1_000,
+                dur_ns: 2_000_000,
+            },
+            RetainedSpan {
+                id: (2 << 48) | 1,
+                parent: (1 << 48) | 1,
+                family: "runner/task".to_string(),
+                thread: 0,
+                start_ns: 5_000,
+                dur_ns: 900, // sub-µs: renders with dur 0
+            },
+        ];
+        let wall_doc = render_wall_trace(&spans, 2);
+        let evs = events_of(&wall_doc);
+        // Process + 2 thread names + 2 slices, all under WALL_PID.
+        assert_eq!(evs.len(), 5);
+        for e in evs {
+            assert_eq!(e.get("pid"), Some(&Json::UInt(WALL_PID)));
+        }
+        let slices: Vec<&Json> = evs
+            .iter()
+            .filter(|e| e.get("ph") == Some(&Json::Str("X".into())))
+            .collect();
+        assert_eq!(slices[0].get("name"), Some(&Json::Str("sweep".into())));
+        assert_eq!(slices[0].get("ts"), Some(&Json::UInt(1)));
+        assert_eq!(slices[0].get("dur"), Some(&Json::UInt(2_000)));
+        assert_eq!(slices[1].get("dur"), Some(&Json::UInt(0)));
+        // Causality rides in args.
+        let args = slices[1].get("args").expect("args");
+        assert_eq!(args.get("parent"), Some(&Json::UInt((1 << 48) | 1)));
+        // The last named track is the driver.
+        let names: Vec<&Json> = evs
+            .iter()
+            .filter_map(|e| e.get("args")?.get("name"))
+            .collect();
+        assert!(names.contains(&&Json::Str("driver".into())));
+        assert!(names.contains(&&Json::Str("worker 0".into())));
+
+        // Dual-clock merge: machine events (pid 0) + wall events
+        // (WALL_PID) in one valid document.
+        let machine_doc = render_machine_trace(&[record(0, 100, 5, 0)], &[], 2, 100);
+        let machine_len = events_of(&machine_doc).len();
+        let merged = merge_traces(machine_doc, wall_doc);
+        let merged_evs = events_of(&merged);
+        assert_eq!(merged_evs.len(), machine_len + 5);
+        let pids: std::collections::BTreeSet<u64> = merged_evs
+            .iter()
+            .filter_map(|e| match e.get("pid") {
+                Some(Json::UInt(p)) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert!(pids.contains(&PID) && pids.contains(&WALL_PID));
+        assert!(json::parse(&merged.pretty()).is_ok());
     }
 
     #[test]

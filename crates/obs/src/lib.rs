@@ -30,6 +30,11 @@
 //!   in real builds, the `execmig-model` interleaving checker under
 //!   `--cfg execmig_model`. All thread/atomic use in the workspace
 //!   goes through it (lint E012).
+//! - [`wall`]: the wall-clock flight recorder — causal spans
+//!   ([`wall::span`]) in per-thread SPSC rings, per-family latency
+//!   histograms with p50/p99/p999, a live-stack sampler rendering
+//!   collapsed (flamegraph) output, and a [`WallBudget`] overhead
+//!   verdict. Same zero-cost-when-off discipline as [`Hub`].
 //!
 //! Serialisation rides on the in-tree [`Json`]/[`ToJson`] model (the
 //! workspace builds offline, with no external crates); structs derive
@@ -49,8 +54,9 @@ pub mod ring;
 pub mod serve;
 pub mod span;
 pub mod tracer;
+pub mod wall;
 
-pub use chrome::ChromeTraceBuilder;
+pub use chrome::{merge_traces, render_wall_trace, ChromeTraceBuilder};
 pub use event::{EventKind, TraceEvent};
 pub use export::{escape_label_value, to_csv, to_prometheus, PromKind, PromWriter};
 pub use http::{parse_request, response, HttpError, Request};
@@ -66,3 +72,7 @@ pub use ring::EventRing;
 pub use serve::{MetricsProvider, TelemetryServer};
 pub use span::{Span, SpanSet, Stopwatch};
 pub use tracer::Tracer;
+pub use wall::{
+    FamilyStats, RetainedSpan, ScopedSpan, StackCount, Wall, WallBudget, WallOverhead,
+    WallSnapshot, WallThread,
+};

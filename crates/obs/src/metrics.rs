@@ -404,6 +404,67 @@ mod tests {
     }
 
     #[test]
+    fn tail_quantiles_with_few_samples() {
+        // One sample: every quantile is that sample — the p999 of a
+        // span family that fired once must read as its only latency,
+        // not its bucket's upper bound (1023 for a 700 ns sample).
+        let mut one = Histogram::new();
+        one.observe(700);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(one.quantile(q), 700, "single sample at q={q}");
+        }
+        // Five samples with one far-tail outlier (the span-latency
+        // shape): nearest-rank p999 lands on the outlier's bucket and
+        // clamps to the exact maximum; p50 stays in the body.
+        let mut h = Histogram::new();
+        for v in [100, 110, 120, 130, 5_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.999), 5_000, "tail clamps to the exact max");
+        assert_eq!(h.quantile(1.0), 5_000);
+        assert_eq!(h.quantile(0.5), 127, "p50 is the body bucket's upper bound");
+        assert!(
+            h.quantile(0.99) <= h.quantile(0.999),
+            "quantiles are monotone"
+        );
+        assert_eq!(h.quantile(0.0), 100, "q<=0 is the exact minimum");
+        assert_eq!(h.quantile(-1.0), 100);
+    }
+
+    #[test]
+    fn tail_quantiles_survive_merge_and_delta() {
+        // A per-thread histogram merged into the aggregate (the wall
+        // snapshot path): the merged p999 must see the other side's
+        // outlier and clamp to the merged maximum.
+        let mut agg = Histogram::new();
+        for v in [100, 110, 120] {
+            agg.observe(v);
+        }
+        let before = agg.clone();
+        let mut incoming = Histogram::new();
+        incoming.observe(90);
+        incoming.observe(8_000);
+        agg.merge(&incoming);
+        assert_eq!(agg.count(), 5);
+        assert_eq!(
+            agg.quantile(0.999),
+            8_000,
+            "merged tail clamps to merged max"
+        );
+        assert_eq!(agg.quantile(0.0), 90, "merged min adopts the smaller side");
+        // The delta window since the pre-merge snapshot holds exactly
+        // the merged-in samples; its p999 still reads the outlier
+        // (the envelope is conservative: delta max is self's max).
+        let d = agg.delta_since(&before);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.quantile(0.999), 8_000);
+        // And an empty delta yields zero quantiles at every q.
+        let e = agg.delta_since(&agg.clone());
+        assert!(e.is_empty());
+        assert_eq!(e.quantile(0.999), 0);
+    }
+
+    #[test]
     fn merge_and_delta_edge_cases() {
         // Merging an empty histogram changes nothing, including the
         // min/max envelope.

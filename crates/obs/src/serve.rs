@@ -1,14 +1,19 @@
 //! The telemetry serving edge: a dependency-free HTTP/1.1 server
 //! exposing a running experiment's live state.
 //!
-//! Three endpoints, all read-only:
+//! Four endpoints, all read-only:
 //!
 //! - `/metrics` — the metrics [`Registry`] from the caller's provider
 //!   in Prometheus text exposition, plus the hub's own per-worker
-//!   progress series and overhead self-accounting;
+//!   progress series and overhead self-accounting (and, when a
+//!   [`Wall`] is attached, per-span-family latency summaries);
 //! - `/progress` — the merged [`HubSnapshot`](crate::hub::HubSnapshot)
 //!   as JSON: per-worker rows, aggregate totals, hub config, and the
 //!   stall watchdog's view;
+//! - `/spans` — the wall-clock flight recorder's
+//!   [`WallSnapshot`](crate::wall::WallSnapshot) as JSON: per-family
+//!   p50/p99/p999 latencies, sampled collapsed stacks, and the
+//!   [`WallBudget`](crate::wall::WallBudget) overhead verdict;
 //! - `/healthz` — `200 {"status":"ok"}` while every running worker is
 //!   beating, `503 {"status":"stalled", …}` once a worker has missed
 //!   its beat budget ([`HubConfig::stall_beats`](crate::hub::HubConfig)).
@@ -31,6 +36,7 @@ use crate::http::{parse_request, response, HttpError};
 use crate::hub::Hub;
 use crate::json::{Json, ToJson};
 use crate::metrics::Registry;
+use crate::wall::Wall;
 
 /// Supplies the current metrics registry on each `/metrics` scrape.
 pub type MetricsProvider = Arc<dyn Fn() -> Registry + Send + Sync>;
@@ -44,7 +50,7 @@ const ACCEPT_POLL: Duration = Duration::from_millis(20);
 /// Ceiling on concurrently served connections for [`start`]
 /// (`TelemetryServer::start`); connections over the cap get an
 /// immediate `503` and a close instead of a handler thread.
-const DEFAULT_MAX_CONNECTIONS: usize = 64;
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
 
 /// How long a keep-alive connection may sit idle *between* requests
 /// before the handler closes it. Keeps idle scrapers from pinning
@@ -103,6 +109,22 @@ impl TelemetryServer {
         metrics: MetricsProvider,
         max_connections: usize,
     ) -> std::io::Result<TelemetryServer> {
+        // Spans from a zero-slot wall are impossible, so `/spans`
+        // serves an honest all-empty snapshot.
+        TelemetryServer::start_with_wall(addr, hub, Wall::with_threads(0), metrics, max_connections)
+    }
+
+    /// [`start_with_limit`](TelemetryServer::start_with_limit) with a
+    /// wall-clock flight recorder attached: `/spans` serves its live
+    /// per-family latency quantiles and `/metrics` carries its summary
+    /// series.
+    pub fn start_with_wall(
+        addr: impl ToSocketAddrs,
+        hub: Hub,
+        wall: Wall,
+        metrics: MetricsProvider,
+        max_connections: usize,
+    ) -> std::io::Result<TelemetryServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -136,6 +158,7 @@ impl TelemetryServer {
                                 active: Arc::clone(&active),
                             };
                             let hub = hub.clone();
+                            let wall = wall.clone();
                             let metrics = Arc::clone(&metrics);
                             let conn_stop = Arc::clone(&accept_stop);
                             // Detached: bounded by read timeouts, the
@@ -146,7 +169,7 @@ impl TelemetryServer {
                                 .name("telemetry-conn".to_string())
                                 .spawn(move || {
                                     let _permit = permit;
-                                    handle_connection(stream, &hub, &metrics, &conn_stop)
+                                    handle_connection(stream, &hub, &wall, &metrics, &conn_stop)
                                 });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -196,6 +219,7 @@ impl Drop for TelemetryServer {
 fn handle_connection(
     mut stream: TcpStream,
     hub: &Hub,
+    wall: &Wall,
     metrics: &MetricsProvider,
     stop: &AtomicBool,
 ) {
@@ -210,7 +234,14 @@ fn handle_connection(
                 // ord: Relaxed — best-effort shutdown check; the accept
                 // thread join is the synchronisation point.
                 let keep_alive = !request.wants_close() && !stop.load(Ordering::Relaxed);
-                let bytes = route(&request.method, request.path(), hub, metrics, keep_alive);
+                let bytes = route(
+                    &request.method,
+                    request.path(),
+                    hub,
+                    wall,
+                    metrics,
+                    keep_alive,
+                );
                 if stream.write_all(&bytes).is_err() {
                     return;
                 }
@@ -268,6 +299,7 @@ fn route(
     method: &str,
     path: &str,
     hub: &Hub,
+    wall: &Wall,
     metrics: &MetricsProvider,
     keep_alive: bool,
 ) -> Vec<u8> {
@@ -281,6 +313,7 @@ fn route(
         "/metrics" => {
             let mut text = to_prometheus(&metrics(), "execmig_");
             text.push_str(&hub_prometheus(hub));
+            text.push_str(&wall_prometheus(wall));
             response(200, "text/plain; version=0.0.4", &text, keep_alive)
         }
         "/progress" => {
@@ -290,6 +323,17 @@ fn route(
                 .to_json()
                 .field("config", hub.config())
                 .field("stalled", &stalled)
+                .pretty();
+            response(200, "application/json", &body, keep_alive)
+        }
+        "/spans" => {
+            // The snapshot merges every span ring (cold side only) and
+            // the budget verdict rates the wall's own cost against its
+            // uptime — "is tracing still cheap" in one scrape.
+            let body = wall
+                .snapshot()
+                .to_json()
+                .field("budget", wall.budget_verdict())
                 .pretty();
             response(200, "application/json", &body, keep_alive)
         }
@@ -310,6 +354,7 @@ fn route(
                     vec![
                         "/metrics".to_string(),
                         "/progress".to_string(),
+                        "/spans".to_string(),
                         "/healthz".to_string(),
                     ],
                 )
@@ -416,5 +461,90 @@ pub fn hub_prometheus(hub: &Hub) -> String {
         Some("Snapshot merge epoch"),
     );
     w.sample("execmig_hub_epoch", &[], snapshot.epoch as f64);
+    w.finish()
+}
+
+/// The wall-clock flight recorder's state as Prometheus series:
+/// summary-style per-family latency quantiles (quantile-labelled
+/// gauges plus `_count`/`_sum`, the exposition shape scrapers expect
+/// from a summary) and the wall's overhead self-accounting.
+pub fn wall_prometheus(wall: &Wall) -> String {
+    let snapshot = wall.snapshot();
+    let mut w = PromWriter::new();
+    w.family(
+        "execmig_span_latency_ns",
+        PromKind::Gauge,
+        Some("Wall-clock span latency quantiles per span family"),
+    );
+    for f in &snapshot.families {
+        for (q, v) in [("0.5", f.p50_ns), ("0.99", f.p99_ns), ("0.999", f.p999_ns)] {
+            let labels: &[(&str, &str)] = &[("family", &f.family), ("quantile", q)];
+            w.sample("execmig_span_latency_ns", labels, v as f64);
+        }
+    }
+    w.family(
+        "execmig_span_latency_ns_count",
+        PromKind::Counter,
+        Some("Closed spans per span family"),
+    );
+    for f in &snapshot.families {
+        let labels: &[(&str, &str)] = &[("family", &f.family)];
+        w.sample("execmig_span_latency_ns_count", labels, f.count as f64);
+    }
+    w.family(
+        "execmig_span_latency_ns_sum",
+        PromKind::Counter,
+        Some("Summed span duration per span family, ns"),
+    );
+    for f in &snapshot.families {
+        let labels: &[(&str, &str)] = &[("family", &f.family)];
+        w.sample("execmig_span_latency_ns_sum", labels, f.total_ns as f64);
+    }
+    let o = snapshot.overhead;
+    for (name, help, value) in [
+        (
+            "execmig_wall_spans_total",
+            "Spans accepted into wall rings",
+            o.spans,
+        ),
+        (
+            "execmig_wall_spans_dropped_total",
+            "Spans dropped on full wall rings",
+            o.dropped,
+        ),
+        (
+            "execmig_wall_record_ns_total",
+            "Nanoseconds spent inside span enter/exit",
+            o.record_ns,
+        ),
+        (
+            "execmig_wall_merge_ns_total",
+            "Nanoseconds spent inside wall snapshot merges",
+            o.merge_ns,
+        ),
+        (
+            "execmig_wall_samples_total",
+            "Flight-recorder sampling passes",
+            o.samples,
+        ),
+        (
+            "execmig_wall_sample_ns_total",
+            "Nanoseconds spent inside flight-recorder sampling",
+            o.sample_ns,
+        ),
+    ] {
+        w.family(name, PromKind::Counter, Some(help));
+        w.sample(name, &[], value as f64);
+    }
+    w.family(
+        "execmig_wall_overhead_fraction",
+        PromKind::Gauge,
+        Some("Wall self-overhead as a fraction of wall uptime"),
+    );
+    w.sample(
+        "execmig_wall_overhead_fraction",
+        &[],
+        wall.budget_verdict().fraction,
+    );
     w.finish()
 }

@@ -1,7 +1,9 @@
 //! Acceptance tests for the live-telemetry subsystem: a 4-worker sweep
 //! served over real TCP must report per-worker progress while running,
 //! the hub's self-accounted overhead must stay inside the
-//! [`TelemetryBudget`] (2 % of run time), and — the hard promise —
+//! [`TelemetryBudget`] (2 % of run time), the wall-clock flight
+//! recorder must serve live per-family span latencies on `/spans`
+//! within its own [`WallBudget`], and — the hard promise —
 //! `MachineStats` must be bit-identical with telemetry on and off.
 //!
 //! The HTTP client here is hand-rolled on `TcpStream`, matching the
@@ -18,7 +20,8 @@ use std::time::{Duration, Instant};
 use execution_migration::experiments::runner::parallel_map_observed;
 use execution_migration::experiments::telemetry::{Telemetry, BEAT_PERIOD_INSTR};
 use execution_migration::machine::{Machine, MachineConfig};
-use execution_migration::obs::{json, Hub, HubConfig, Json, TelemetryBudget};
+use execution_migration::obs::wall::{self, families};
+use execution_migration::obs::{json, Hub, HubConfig, Json, TelemetryBudget, Wall, WallBudget};
 use execution_migration::trace::suite;
 
 /// One blocking `GET path` against the telemetry server; returns
@@ -111,11 +114,13 @@ fn four_worker_sweep_serves_live_progress() {
 
     let started = Instant::now();
     let done = AtomicBool::new(false);
-    let (rows, live_polls) = std::thread::scope(|scope| {
-        // Scrape /progress concurrently with the sweep and count the
-        // polls that caught a worker mid-task.
+    let (rows, live_polls, live_span_polls) = std::thread::scope(|scope| {
+        // Scrape /progress and /spans concurrently with the sweep and
+        // count the polls that caught a worker (or a span family)
+        // mid-flight.
         let scraper = scope.spawn(|| {
             let mut live_polls = 0u64;
+            let mut live_span_polls = 0u64;
             while !done.load(Ordering::Acquire) {
                 let (status, body) = http_get(addr, "/progress");
                 assert_eq!(status, 200, "/progress answers while running");
@@ -134,13 +139,33 @@ fn four_worker_sweep_serves_live_progress() {
                         live_polls += 1;
                     }
                 }
+                let (status, body) = http_get(addr, "/spans");
+                assert_eq!(status, 200, "/spans answers while running");
+                let doc = json::parse(&body).expect("/spans is valid JSON");
+                if Wall::ACTIVE && uint_field(&doc, "total_spans") > 0 {
+                    // Mid-run the recorder already serves per-family
+                    // quantiles for completed spans.
+                    let fams = match doc.get("families") {
+                        Some(Json::Arr(rows)) => rows,
+                        other => panic!("/spans carries a families array, got {other:?}"),
+                    };
+                    assert_eq!(fams.len(), families::ALL.len());
+                    if fams.iter().any(|f| {
+                        uint_field(f, "count") > 0
+                            && uint_field(f, "p999_ns") >= uint_field(f, "p50_ns")
+                    }) {
+                        live_span_polls += 1;
+                    }
+                }
                 std::thread::sleep(Duration::from_millis(10));
             }
-            live_polls
+            (live_polls, live_span_polls)
         });
 
-        let (rows, _report) =
-            parallel_map_observed(names.to_vec(), threads, telemetry.hub(), |name, ctx| {
+        let (rows, _report) = {
+            // The sweep root span: worker task spans parent to it.
+            let _sweep = wall::span(families::SWEEP);
+            parallel_map_observed(names.to_vec(), threads, telemetry.obs(), |name, ctx| {
                 let mut m = Machine::new(MachineConfig::four_core_migration());
                 let mut w = suite::by_name(name).expect("suite workload");
                 match &ctx {
@@ -155,9 +180,11 @@ fn four_worker_sweep_serves_live_progress() {
                     None => m.run(&mut *w, budget),
                 }
                 m.stats().l2_misses
-            });
+            })
+        };
         done.store(true, Ordering::Release);
-        (rows, scraper.join().expect("scraper thread"))
+        let (live_polls, live_span_polls) = scraper.join().expect("scraper thread");
+        (rows, live_polls, live_span_polls)
     });
     let run_ns = started.elapsed().as_nanos() as u64;
 
@@ -189,6 +216,32 @@ fn four_worker_sweep_serves_live_progress() {
         );
     }
 
+    if Wall::ACTIVE {
+        assert!(
+            live_span_polls > 0,
+            "no /spans poll caught a span family with live quantiles"
+        );
+        let recorder = telemetry.wall().expect("serving implies a wall");
+        let snap = recorder.snapshot();
+        for family in [families::SWEEP, families::TASK, families::RUN] {
+            let stats = snap.family(family).expect("registered family");
+            assert!(stats.count > 0, "{family} recorded no spans");
+            assert!(stats.p50_ns <= stats.p99_ns && stats.p99_ns <= stats.p999_ns);
+        }
+        assert_eq!(
+            snap.family(families::TASK).map(|f| f.count),
+            Some(names.len() as u64),
+            "one task span per sweep item"
+        );
+        let wall_verdict = WallBudget::default().verdict(&recorder.overhead(), run_ns);
+        assert!(
+            wall_verdict.within,
+            "wall overhead {:.4} % exceeds the {:.0} % budget",
+            wall_verdict.fraction * 100.0,
+            wall_verdict.max_fraction * 100.0
+        );
+    }
+
     // The other endpoints answer well-formed in every build mode.
     let (status, health) = http_get(addr, "/healthz");
     assert_eq!(status, 200, "no worker is stalled after the sweep");
@@ -196,6 +249,10 @@ fn four_worker_sweep_serves_live_progress() {
     let (status, metrics) = http_get(addr, "/metrics");
     assert_eq!(status, 200);
     assert!(metrics.contains("# TYPE execmig_hub_beats_total counter"));
+    assert!(metrics.contains("# TYPE execmig_wall_spans_total counter"));
+    let (status, spans) = http_get(addr, "/spans");
+    assert_eq!(status, 200);
+    assert!(spans.contains("\"families\"") && spans.contains("\"budget\""));
     let (status, _) = http_get(addr, "/nope");
     assert_eq!(status, 404);
 
