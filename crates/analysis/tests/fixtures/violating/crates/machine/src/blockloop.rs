@@ -1,0 +1,49 @@
+//! E015 fixture: per-event overheads inside event-replay loops.
+
+use execmig_obs::Profiler;
+
+use crate::stats::MachineStats;
+
+pub struct Replayer {
+    bus: UpdateBus,
+    profiler: Profiler,
+    stats: MachineStats,
+    samples: u64,
+}
+
+impl Replayer {
+    /// Per-event overheads left in the loop body: both flagged.
+    pub fn replay(&mut self, events: &[u64]) {
+        for &at in events {
+            self.stats.bus = self.bus.stats(); // E015: per-event mirror copy
+            if self.profiler.sample_due(at) {
+                // E015: ungated probe
+                self.samples += 1;
+            }
+        }
+    }
+
+    /// The hoisted twin: gate inside the loop, mirror at the flush
+    /// point after it. Must stay clean.
+    pub fn replay_hoisted(&mut self, events: &[u64]) {
+        for &at in events {
+            if Profiler::ACTIVE && self.profiler.sample_due(at) {
+                self.samples += 1;
+            }
+        }
+        self.stats.bus = self.bus.stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_loops_may_probe_per_event() {
+        let p = Profiler::new(0);
+        for at in 0..4 {
+            assert!(!p.sample_due(at));
+        }
+    }
+}

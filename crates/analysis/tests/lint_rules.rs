@@ -40,6 +40,7 @@ fn golden_rule_counts() {
         ("E012", 2),
         ("E013", 2),
         ("E014", 2),
+        ("E015", 2),
     ]
     .into_iter()
     .collect();
@@ -205,10 +206,25 @@ fn span_family_table_must_be_closed() {
 }
 
 #[test]
+fn loop_body_overheads_are_flagged_only_inside_loops() {
+    let diags = fixture_diags();
+    let e015 = by_rule(&diags, "E015");
+    assert_eq!(e015.len(), 2);
+    assert!(e015
+        .iter()
+        .all(|d| d.path == "crates/machine/src/blockloop.rs"));
+    assert!(e015.iter().any(|d| d.message.contains("bus.stats()")));
+    assert!(e015.iter().any(|d| d.message.contains("sample_due")));
+    // `replay_hoisted` (gated probe in-loop, mirror copy after the
+    // loop) and the test module's per-event probe stay clean: the
+    // count above pins exactly the two in-loop sites in `replay`.
+}
+
+#[test]
 fn json_report_is_stable() {
     let diags = fixture_diags();
     let json = diag::render_json(&diags);
-    assert!(json.starts_with("{\"count\":23,"));
+    assert!(json.starts_with("{\"count\":25,"));
     assert!(json.contains("\"rule\":\"E001\""));
     assert!(json.contains("\"rule\":\"E009\""));
 }

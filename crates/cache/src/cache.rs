@@ -430,6 +430,47 @@ impl Cache {
         }
     }
 
+    /// Like [`Cache::lookup`], but a hit also returns the frame index
+    /// of the line, for follow-up state changes without a second set
+    /// scan (see [`Cache::set_modified_at`]). The index is valid until
+    /// the next fill or invalidation on this cache.
+    pub fn lookup_at(&mut self, line: LineAddr) -> Option<usize> {
+        match self.find(line.raw()) {
+            Some(f) => {
+                self.touch(f, false);
+                Some(f)
+            }
+            None => None,
+        }
+    }
+
+    /// Sets or clears the modified bit of the frame at `f`, as returned
+    /// by [`Cache::lookup_at`]. Does not update recency.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if `f` is out of range; a stale
+    /// index within range silently edits whatever line now occupies the
+    /// frame, so callers must not hold indices across fills.
+    pub fn set_modified_at(&mut self, f: usize, modified: bool) {
+        let frame = &mut self.frames[f];
+        frame.meta = (frame.meta & !MODIFIED) | modified as u64;
+    }
+
+    /// Sets or clears the shared bit of the frame at `f` (see
+    /// [`Cache::set_modified_at`] for index validity). Does not update
+    /// recency.
+    pub fn set_shared_at(&mut self, f: usize, shared: bool) {
+        let frame = &mut self.frames[f];
+        frame.meta = (frame.meta & !SHARED) | if shared { SHARED } else { 0 };
+    }
+
+    /// The shared bit of the frame at `f` (see
+    /// [`Cache::set_modified_at`] for index validity).
+    pub fn shared_at(&self, f: usize) -> bool {
+        self.frames[f].is_shared()
+    }
+
     /// Combined lookup + fill-on-miss in a single probe: the per-access
     /// hot path of the machine's L1s. A hit refreshes recency and ORs
     /// in `modified`; a miss inserts the line, evicting the LRU

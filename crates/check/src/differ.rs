@@ -15,7 +15,7 @@
 use std::fmt;
 
 use execmig_machine::{Machine, MachineConfig, MachineStats};
-use execmig_trace::{Access, LineSize, Workload};
+use execmig_trace::{Access, LineSize, Workload, WorkloadEvent};
 
 use crate::refmachine::{config_supported, RefMachine};
 
@@ -215,6 +215,55 @@ impl Lockstep {
         for t in trace {
             if let Some(report) = self.step(t.access, t.instructions) {
                 return Some(report);
+            }
+        }
+        None
+    }
+
+    /// Replays a captured trace through the *block* API: the optimized
+    /// machine consumes it in `run_block` chunks whose sizes cycle
+    /// through `block_sizes` (clamped to the events remaining, so
+    /// oversized entries exercise the overshooting-final-block case),
+    /// while the reference model steps event by event. Observables are
+    /// compared at every block boundary — the granularity at which
+    /// [`Machine::run_block`] promises bit-identity with per-step
+    /// execution. Returns the first divergent boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_sizes` is empty or contains 0.
+    pub fn run_trace_blocks(
+        &mut self,
+        trace: &[TraceStep],
+        block_sizes: &[usize],
+    ) -> Option<DivergenceReport> {
+        assert!(
+            block_sizes.iter().all(|&n| n > 0),
+            "block sizes must be positive"
+        );
+        let mut sizes = block_sizes.iter().cycle();
+        let mut at = 0usize;
+        let mut buf: Vec<WorkloadEvent> = Vec::new();
+        while at < trace.len() {
+            let n = (*sizes.next().expect("non-empty sizes")).min(trace.len() - at);
+            let block = &trace[at..at + n];
+            buf.clear();
+            buf.extend(block.iter().map(|t| WorkloadEvent {
+                access: t.access,
+                instructions: t.instructions,
+            }));
+            self.machine.run_block(&buf);
+            for t in block {
+                let line = self.line.line_of(t.access.addr);
+                self.reference
+                    .step_tagged(t.access.kind, line, t.instructions, t.access.pointer);
+            }
+            self.steps += n;
+            at += n;
+            let diffs = self.observable_diffs();
+            if !diffs.is_empty() {
+                let last = block.last().expect("non-empty block");
+                return Some(self.report(at - 1, last.access, last.instructions, diffs));
             }
         }
         None

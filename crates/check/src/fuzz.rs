@@ -346,6 +346,40 @@ mod tests {
         assert_eq!(steps, back);
     }
 
+    /// The block API must be indistinguishable from per-step stepping
+    /// at every block boundary, for *any* chunking of the same event
+    /// stream: single-event blocks, tiny odd sizes, `BLOCK_EVENTS`-
+    /// sized and oversized blocks (the final block then overshoots the
+    /// remaining stream and is clamped), and a seeded random mix. The
+    /// reference model inside the lockstep pair always steps one event
+    /// at a time, so any per-event overhead wrongly hoisted to a block
+    /// boundary (or vice versa) shows up as a divergence here.
+    #[test]
+    fn mixed_granularity_blocks_agree_with_per_step() {
+        let trace = generate(&FuzzConfig {
+            accesses: 20_000,
+            ..FuzzConfig::default()
+        });
+        let mut rng = Rng::seed_from(0xb10c);
+        let mut random_sizes: Vec<usize> = vec![1, 7, 4096];
+        random_sizes.extend((0..16).map(|_| rng.below(512) as usize + 1));
+        let chunkings: [&[usize]; 4] = [&[1], &[7], &[4096], &random_sizes];
+        for (name, config) in stress_configs() {
+            for sizes in chunkings {
+                let mut lockstep = Lockstep::new(config.clone());
+                let report = lockstep
+                    .run_trace_blocks(&trace, sizes)
+                    .or_else(|| lockstep.final_check());
+                assert!(
+                    report.is_none(),
+                    "{name} with block sizes {sizes:?} diverged:\n{}",
+                    report.unwrap()
+                );
+                assert_eq!(lockstep.steps(), trace.len());
+            }
+        }
+    }
+
     #[test]
     fn stress_configs_are_valid_and_supported() {
         for (name, config) in stress_configs() {

@@ -27,7 +27,7 @@
 //! 0 within threshold, 1 regression (or any drift under `--drift`),
 //! 2 usage/IO error.
 
-use execmig_experiments::diff::{history, DiffConfig, DiffReport};
+use execmig_experiments::diff::{bench_baselines, history, DiffConfig, DiffReport};
 use execmig_experiments::report::{arg_flag, arg_value};
 use execmig_experiments::TextTable;
 use execmig_obs::{json, Json};
@@ -36,26 +36,6 @@ use std::process::exit;
 fn load(path: &str) -> Result<Json, String> {
     let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     json::parse(&body).map_err(|e| format!("{path}: {e}"))
-}
-
-/// `BENCH_<n>.json` baselines under `dir`, ordered by revision number.
-fn bench_baselines(dir: &str) -> Result<Vec<(u64, String)>, String> {
-    let mut found = Vec::new();
-    let entries = std::fs::read_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("{dir}: {e}"))?;
-        let name = entry.file_name().to_string_lossy().into_owned();
-        let Some(rev) = name
-            .strip_prefix("BENCH_")
-            .and_then(|s| s.strip_suffix(".json"))
-            .and_then(|s| s.parse::<u64>().ok())
-        else {
-            continue;
-        };
-        found.push((rev, entry.path().to_string_lossy().into_owned()));
-    }
-    found.sort();
-    Ok(found)
 }
 
 /// The `--history` mode: per-kernel metric trajectories across every

@@ -247,6 +247,33 @@ pub fn history(docs: &[Json], metric: &str) -> Vec<HistoryRow> {
         .collect()
 }
 
+/// `BENCH_<n>.json` baselines under `dir` as `(revision, path)`
+/// pairs, ordered by **numeric** revision.
+///
+/// The revision is parsed out of the filename rather than sorted as
+/// text: a lexicographic listing puts `BENCH_10.json` *before*
+/// `BENCH_9.json` (`'1' < '9'`), which would silently reverse part of
+/// a `--history` trajectory once baselines reach two digits. Files
+/// not matching `BENCH_<decimal>.json` are skipped.
+pub fn bench_baselines(dir: &str) -> Result<Vec<(u64, String)>, String> {
+    let mut found = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{dir}: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(rev) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        found.push((rev, entry.path().to_string_lossy().into_owned()));
+    }
+    found.sort();
+    Ok(found)
+}
+
 /// Flattens `json` to its numeric leaves. Objects append `/key`;
 /// arrays whose elements carry a string `id` field key by
 /// `/<id>`, other arrays by `/<index>`; booleans count as 0/1;
@@ -461,6 +488,33 @@ mod tests {
         assert_eq!(c.values, vec![None, None, Some(3.0)]);
         // Other metrics' leaves never leak in.
         assert!(history(&docs, "nope").is_empty());
+    }
+
+    #[test]
+    fn bench_baselines_order_numerically_past_one_digit() {
+        // Lexicographically "BENCH_10.json" < "BENCH_9.json"; the
+        // history scan must order by the parsed revision instead.
+        let dir = std::env::temp_dir().join(format!("execmig_baselines_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in [
+            "BENCH_9.json",
+            "BENCH_10.json",
+            "BENCH_3.json",
+            "BENCH_6.json",
+            "BENCH_8.json",
+            "BENCH_x.json", // not a revision: skipped
+            "BENCH_2.txt",  // wrong extension: skipped
+            "notes.json",   // unrelated: skipped
+        ] {
+            std::fs::write(dir.join(name), "[]").unwrap();
+        }
+        let found = bench_baselines(dir.to_str().unwrap()).unwrap();
+        let revs: Vec<u64> = found.iter().map(|(rev, _)| *rev).collect();
+        assert_eq!(revs, [3, 6, 8, 9, 10]);
+        for (rev, path) in &found {
+            assert!(path.ends_with(&format!("BENCH_{rev}.json")));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -154,7 +154,11 @@ pub trait CoherenceProtocol {
     fn serve_miss(&self, ctx: &mut CoherenceCtx<'_>, line: LineAddr, store: bool);
 
     /// Applies a store that hit the active L2 (the upgrade path).
-    fn write_hit(&self, ctx: &mut CoherenceCtx<'_>, line: LineAddr);
+    /// `frame` is the line's frame index in `ctx.l2[ctx.active]` as
+    /// returned by the hit probe (`Cache::lookup_at`), so the hook can
+    /// edit the active copy's state without re-scanning the set; it is
+    /// valid as long as the hook fills nothing into the active L2.
+    fn write_hit(&self, ctx: &mut CoherenceCtx<'_>, line: LineAddr, frame: usize);
 
     /// Post-store bus work that runs after every store, hit or miss
     /// (migration mode's §2.3 store broadcast; a no-op for the bus
@@ -198,8 +202,9 @@ impl CoherenceProtocol for MigrationMode {
         ctx.fill_active(line, store);
     }
 
-    fn write_hit(&self, ctx: &mut CoherenceCtx<'_>, line: LineAddr) {
-        ctx.l2[ctx.active].set_modified(line, true);
+    fn write_hit(&self, ctx: &mut CoherenceCtx<'_>, line: LineAddr, frame: usize) {
+        let _ = line;
+        ctx.l2[ctx.active].set_modified_at(frame, true);
     }
 
     fn after_write(&self, ctx: &mut CoherenceCtx<'_>, line: LineAddr) {
@@ -302,22 +307,23 @@ impl CoherenceProtocol for Mesi {
         }
     }
 
-    fn write_hit(&self, ctx: &mut CoherenceCtx<'_>, line: LineAddr) {
+    fn write_hit(&self, ctx: &mut CoherenceCtx<'_>, line: LineAddr, frame: usize) {
         let active = ctx.active;
-        if ctx.l2[active].shared(line) == Some(true) {
+        if ctx.l2[active].shared_at(frame) {
             // BusUpgr: the writer believes the line is shared, so the
             // upgrade goes on the bus even if every sharer has since
-            // been silently evicted.
+            // been silently evicted. Only remote caches are touched, so
+            // `frame` stays valid.
             ctx.stats.coherence_bus_bytes += ADDR_BYTES;
             for (c, l2) in ctx.l2.iter_mut().enumerate() {
                 if c != active && l2.invalidate(line).is_some() {
                     ctx.stats.invalidations += 1;
                 }
             }
-            ctx.l2[active].set_shared(line, false);
+            ctx.l2[active].set_shared_at(frame, false);
         }
         // S→M over the bus; E→M and M→M are silent.
-        ctx.l2[active].set_modified(line, true);
+        ctx.l2[active].set_modified_at(frame, true);
     }
 
     fn after_write(&self, _ctx: &mut CoherenceCtx<'_>, _line: LineAddr) {}
@@ -401,13 +407,13 @@ impl CoherenceProtocol for Dragon {
         }
     }
 
-    fn write_hit(&self, ctx: &mut CoherenceCtx<'_>, line: LineAddr) {
+    fn write_hit(&self, ctx: &mut CoherenceCtx<'_>, line: LineAddr, frame: usize) {
         let active = ctx.active;
-        if ctx.l2[active].shared(line) == Some(true) {
+        if ctx.l2[active].shared_at(frame) {
             Dragon::bus_update(ctx, line);
         } else {
             // E→M / M→M: silent.
-            ctx.l2[active].set_modified(line, true);
+            ctx.l2[active].set_modified_at(frame, true);
         }
     }
 
@@ -430,11 +436,11 @@ impl CoherenceProtocol for Protocol {
         }
     }
 
-    fn write_hit(&self, ctx: &mut CoherenceCtx<'_>, line: LineAddr) {
+    fn write_hit(&self, ctx: &mut CoherenceCtx<'_>, line: LineAddr, frame: usize) {
         match self {
-            Protocol::MigrationMode => MigrationMode.write_hit(ctx, line),
-            Protocol::Mesi => Mesi.write_hit(ctx, line),
-            Protocol::Dragon => Dragon.write_hit(ctx, line),
+            Protocol::MigrationMode => MigrationMode.write_hit(ctx, line, frame),
+            Protocol::Mesi => Mesi.write_hit(ctx, line, frame),
+            Protocol::Dragon => Dragon.write_hit(ctx, line, frame),
         }
     }
 
@@ -528,7 +534,8 @@ mod tests {
         l2[0].set_shared(line, true);
         l2[1].fill(line, false);
         l2[1].set_shared(line, true);
-        Mesi.write_hit(&mut ctx(0, &mut l2, &mut stats), line);
+        let frame = l2[0].lookup_at(line).unwrap();
+        Mesi.write_hit(&mut ctx(0, &mut l2, &mut stats), line, frame);
         assert!(!l2[1].contains(line));
         assert_eq!(stats.invalidations, 1);
         assert_eq!(l2[0].modified(line), Some(true));
@@ -544,7 +551,8 @@ mod tests {
         l2[0].set_shared(line, true);
         l2[1].fill(line, true);
         l2[1].set_shared(line, true); // remote owner in Sm
-        Dragon.write_hit(&mut ctx(0, &mut l2, &mut stats), line);
+        let frame = l2[0].lookup_at(line).unwrap();
+        Dragon.write_hit(&mut ctx(0, &mut l2, &mut stats), line, frame);
         assert!(l2[1].contains(line), "Dragon must not invalidate");
         assert_eq!(l2[1].modified(line), Some(false), "old owner → Sc");
         assert_eq!(l2[0].modified(line), Some(true), "writer → Sm");
@@ -581,7 +589,8 @@ mod tests {
         let line = LineAddr::new(13);
         l2[0].fill(line, false);
         l2[0].set_shared(line, true); // stale: the sharer is gone
-        Dragon.write_hit(&mut ctx(0, &mut l2, &mut stats), line);
+        let frame = l2[0].lookup_at(line).unwrap();
+        Dragon.write_hit(&mut ctx(0, &mut l2, &mut stats), line, frame);
         assert_eq!(l2[0].modified(line), Some(true));
         assert_eq!(l2[0].shared(line), Some(false), "no sharers ⇒ M");
         assert_eq!(stats.coherence_updates, 0);
@@ -598,7 +607,8 @@ mod tests {
         let line = LineAddr::new(17);
         l2[1].fill(line, true);
         MigrationMode.serve_miss(&mut ctx(0, &mut l2, &mut stats), line, false);
-        MigrationMode.write_hit(&mut ctx(0, &mut l2, &mut stats), line);
+        let frame = l2[0].lookup_at(line).unwrap();
+        MigrationMode.write_hit(&mut ctx(0, &mut l2, &mut stats), line, frame);
         MigrationMode.after_write(&mut ctx(0, &mut l2, &mut stats), line);
         for cache in &l2 {
             assert!(cache.resident_states().all(|(_, _, shared)| !shared));

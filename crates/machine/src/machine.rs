@@ -6,7 +6,7 @@ use execmig_obs::{
     wall, Beat, EventKind, Histogram, Hub, HubWorker, ProfileConfig, ProfileCumulative, Profiler,
     Registry, Tracer, WorkerState,
 };
-use execmig_trace::{AccessKind, LineAddr, LineSize, Workload};
+use execmig_trace::{AccessKind, LineAddr, LineSize, Workload, WorkloadEvent};
 
 use crate::bus::UpdateBus;
 use crate::coherence::{CoherenceCtx, CoherenceProtocol, Protocol};
@@ -54,6 +54,28 @@ pub struct Machine {
     /// Interval profiler (zero-sized no-op without the `trace`
     /// feature).
     profiler: Profiler,
+    /// Update-bus instruction charge batched since the last flush
+    /// (see [`flush_bus`](Self::flush_bus)).
+    pend_bus_instr: u64,
+    /// Store count batched since the last bus flush.
+    pend_bus_stores: u64,
+    /// Line-run memo for the IL1: the line of the previous instruction
+    /// fetch, which that fetch left resident — a repeat fetch is a
+    /// guaranteed hit and skips the set scan entirely.
+    il1_run: Option<LineAddr>,
+    /// Line-run memo for the DL1: the line of the previous data access
+    /// and whether it is resident (stores do not allocate, so a store
+    /// miss memoizes `false`).
+    dl1_run: Option<(LineAddr, bool)>,
+    /// Store-run memo (migration mode only): the line of the previous
+    /// store, which hit the active L2, together with the number of
+    /// remote L2 copies its §2.3 store broadcast refreshed. While no
+    /// other event touches any L2 (every such path clears this), an
+    /// immediately repeated store to the same line is state-idempotent —
+    /// the active copy is already modified, the remote copies are
+    /// already clean and still resident — so the block fast path replays
+    /// it as two counter bumps instead of up to four set scans.
+    store_run: Option<(LineAddr, u64)>,
 }
 
 impl Machine {
@@ -91,6 +113,11 @@ impl Machine {
             last_migration_at: 0,
             tracer: Tracer::with_capacity(execmig_obs::tracer::DEFAULT_CAPACITY),
             profiler: Profiler::with_config(ProfileConfig::default()),
+            pend_bus_instr: 0,
+            pend_bus_stores: 0,
+            il1_run: None,
+            dl1_run: None,
+            store_run: None,
         }
     }
 
@@ -119,6 +146,9 @@ impl Machine {
             "core {core} out of range for {} cores",
             self.config.cores
         );
+        // The active/remote split the store-run memo was measured
+        // against no longer holds.
+        self.store_run = None;
         self.active = core;
     }
 
@@ -246,16 +276,20 @@ impl Machine {
     /// Runs `workload` until at least `instructions` dynamic
     /// instructions have retired. Can be called repeatedly; the budget
     /// is absolute (total instructions since the workload started).
+    ///
+    /// The loop is block-stepping: events are buffered
+    /// [`BLOCK_EVENTS`](Self::BLOCK_EVENTS) at a time through
+    /// `Workload::fill_block` and replayed with
+    /// [`run_block`](Self::run_block), whose observable state is
+    /// bit-identical to the per-step loop this replaces.
     pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W, instructions: u64) {
-        while workload.instructions() < instructions {
-            let access = workload.next_access();
-            let now = workload.instructions();
-            self.step_tagged(
-                access.kind,
-                self.line.line_of(access.addr),
-                now,
-                access.pointer,
-            );
+        let mut buf: Vec<WorkloadEvent> = Vec::with_capacity(Self::BLOCK_EVENTS);
+        loop {
+            buf.clear();
+            if workload.fill_block(&mut buf, instructions, Self::BLOCK_EVENTS) == 0 {
+                break;
+            }
+            self.run_block(&buf);
         }
     }
 
@@ -284,22 +318,32 @@ impl Machine {
     ) {
         let period = beat_period.max(1);
         let mut next_beat = workload.instructions().saturating_add(period);
+        let mut last_beat_at: Option<u64> = None;
         // One wall-clock span per beat-period block, recorded into the
         // calling thread's attached flight-recorder context (a no-op
         // when unattached or without `trace`). The spans are pure
         // timers — the simulation path stays byte-for-byte `run`'s.
         let mut block_span = Some(wall::span(wall::families::MACHINE_BLOCK));
-        while workload.instructions() < instructions {
-            let access = workload.next_access();
-            let now = workload.instructions();
-            self.step_tagged(
-                access.kind,
-                self.line.line_of(access.addr),
-                now,
-                access.pointer,
-            );
+        let mut buf: Vec<WorkloadEvent> = Vec::with_capacity(Self::BLOCK_EVENTS);
+        loop {
+            // Cap each fill at the next beat boundary so the first
+            // event crossing it ends its block: beats then land at
+            // exactly the instruction counts the per-step loop
+            // produced. Without a hub the cap (like the beats) is dead.
+            let until = if Hub::ACTIVE {
+                instructions.min(next_beat)
+            } else {
+                instructions
+            };
+            buf.clear();
+            if workload.fill_block(&mut buf, until, Self::BLOCK_EVENTS) == 0 {
+                break;
+            }
+            self.run_block(&buf);
+            let now = self.stats.instructions;
             if Hub::ACTIVE && now >= next_beat {
                 worker.publish(self.progress_beat(WorkerState::Running, task, tasks_done));
+                last_beat_at = Some(now);
                 next_beat = now.saturating_add(period);
                 // Close the finished block before opening the next, so
                 // the guards nest LIFO on the thread's span stack.
@@ -309,7 +353,11 @@ impl Machine {
         }
         // Close the trailing block before the final beat is published.
         block_span.take();
-        if Hub::ACTIVE {
+        // Final beat — skipped when the last in-loop beat already
+        // reported this exact instruction count (a budget landing on a
+        // beat boundary), which would double-count the publish in the
+        // hub's `HubOverhead` self-accounting.
+        if Hub::ACTIVE && last_beat_at != Some(self.stats.instructions) {
             worker.publish(self.progress_beat(WorkerState::Running, task, tasks_done));
         }
     }
@@ -349,52 +397,8 @@ impl Machine {
         instructions_now: u64,
         pointer: bool,
     ) {
-        // Charge update-bus traffic for the instructions retired since
-        // the previous access (register/branch broadcast) and any store.
-        let delta_instr = instructions_now.saturating_sub(self.last_instructions);
-        self.last_instructions = instructions_now;
-        self.stats.instructions = instructions_now;
-        self.core_instructions[self.active] += delta_instr;
-        let is_store = kind.is_store();
-        self.bus
-            .charge_instructions(delta_instr, u64::from(is_store));
-
-        self.stats.accesses += 1;
-        match kind {
-            AccessKind::IFetch => {
-                self.stats.ifetches += 1;
-                // Fused probe: one set scan decides hit-or-fill.
-                if !self.il1.access(line, false).hit {
-                    self.stats.il1_misses += 1;
-                    self.bus.charge_l1_mirror(self.line.bytes());
-                    self.tracer.emit(instructions_now, EventKind::BusBroadcast);
-                    self.l1_request(line, pointer);
-                }
-            }
-            AccessKind::Load => {
-                self.stats.loads += 1;
-                if !self.dl1.access(line, false).hit {
-                    self.stats.dl1_misses += 1;
-                    self.bus.charge_l1_mirror(self.line.bytes());
-                    self.tracer.emit(instructions_now, EventKind::BusBroadcast);
-                    self.l1_request(line, pointer);
-                }
-            }
-            AccessKind::Store => {
-                self.stats.stores += 1;
-                // Write-through, non-write-allocate DL1: a hit updates
-                // the line in place, a miss does not allocate — but the
-                // write always goes to the L2 (which *is*
-                // write-allocate, "write allocation in L2 may be
-                // triggered even upon DL1 hits").
-                let dl1_hit = self.dl1.lookup(line);
-                if !dl1_hit {
-                    self.stats.dl1_misses += 1;
-                }
-                self.l2_write(line, !dl1_hit);
-            }
-        }
-        self.stats.bus = self.bus.stats();
+        self.step_event(kind, line, instructions_now, pointer);
+        self.flush_bus();
 
         // Interval profiling. `Profiler::ACTIVE` is a compile-time
         // constant: without the `trace` feature the whole branch —
@@ -403,6 +407,235 @@ impl Machine {
         if Profiler::ACTIVE && self.profiler.sample_due(instructions_now) {
             let snapshot = self.profile_cumulative();
             self.profiler.record_sample(&snapshot);
+        }
+    }
+
+    /// Number of events block-stepping run loops buffer per
+    /// [`run_block`](Self::run_block) call: large enough to amortize
+    /// the per-block work to noise, small enough that a block of
+    /// [`WorkloadEvent`]s stays L1-resident.
+    pub const BLOCK_EVENTS: usize = 2048;
+
+    /// Replays a buffered block of workload events.
+    ///
+    /// Observable state after the call — [`MachineStats`], cache
+    /// contents, profiles, traces, controller state — is bit-identical
+    /// to feeding the same events through
+    /// [`step_tagged`](Self::step_tagged) one at a time; the per-event
+    /// overheads are hoisted to block boundaries:
+    ///
+    /// - update-bus instruction/store charging batches into two pending
+    ///   counters and lands once per block — and exactly at each
+    ///   profiler sample, where bus bytes become observable. The bus's
+    ///   fixed-point carry accumulators make split charging
+    ///   associative, so every flush point sees identical byte counts
+    ///   (see `UpdateBus::charge_instructions`).
+    /// - the `stats.bus` mirror copy happens at flush points instead of
+    ///   per event.
+    /// - the profiler boundary test runs once, against the block's last
+    ///   event; only a block that actually contains an interval
+    ///   boundary pays the per-event catch-up loop, which records at
+    ///   exactly the events the per-step loop would have
+    ///   (`sample_due` is monotone in the instruction count).
+    ///
+    /// Events must carry monotone post-event instruction counts, as
+    /// `Workload::fill_block` produces. Blocks of any size work,
+    /// including a single event or a slice overshooting a caller's
+    /// instruction budget.
+    pub fn run_block(&mut self, events: &[WorkloadEvent]) {
+        let Some(last) = events.last() else {
+            return;
+        };
+        if Profiler::ACTIVE && self.profiler.sample_due(last.instructions) {
+            // An interval boundary falls inside this block: take the
+            // exact catch-up path so samples land on the same events,
+            // and see the same flushed bus bytes, as per-step runs.
+            for e in events {
+                self.step_event(
+                    e.access.kind,
+                    self.line.line_of(e.access.addr),
+                    e.instructions,
+                    e.access.pointer,
+                );
+                if Profiler::ACTIVE && self.profiler.sample_due(e.instructions) {
+                    self.flush_bus();
+                    let snapshot = self.profile_cumulative();
+                    self.profiler.record_sample(&snapshot);
+                }
+            }
+        } else {
+            // Lean loop: no interval boundary falls inside this block
+            // (`sample_due` is monotone), so nothing observes the stats
+            // mid-block. Per-kind event counts accumulate in locals and
+            // land once at the end; `stats.instructions` and the
+            // per-core occupancy sync only when a miss path needs them
+            // (tracer timestamps, controller consultation) and at the
+            // block boundary. Totals at every flush point are identical
+            // to the per-step loop's.
+            let mut ifetches = 0u64;
+            let mut loads = 0u64;
+            let mut stores = 0u64;
+            let mut l2_accesses = 0u64;
+            let mut broadcast_updates = 0u64;
+            #[cfg(debug_assertions)]
+            let accesses_base = self.stats.accesses;
+            #[cfg(debug_assertions)]
+            let mut seen = 0u64;
+            for e in events {
+                let line = self.line.line_of(e.access.addr);
+                match e.access.kind {
+                    AccessKind::IFetch => {
+                        ifetches += 1;
+                        // Same memos as `step_event`; see the proofs
+                        // there.
+                        if self.il1_run != Some(line) {
+                            self.il1_run = Some(line);
+                            if !self.il1.access(line, false).hit {
+                                self.sync_to(e.instructions);
+                                self.il1_miss(line, e.access.pointer);
+                            }
+                        }
+                    }
+                    AccessKind::Load => {
+                        loads += 1;
+                        if self.dl1_run != Some((line, true)) {
+                            if !self.dl1.access(line, false).hit {
+                                self.sync_to(e.instructions);
+                                self.dl1_load_miss(line, e.access.pointer);
+                            }
+                            self.dl1_run = Some((line, true));
+                        }
+                    }
+                    AccessKind::Store => {
+                        stores += 1;
+                        // Store-run fast path: the previous store hit
+                        // this same line (so did the DL1 memo), and no
+                        // L2 has been touched since — the repeat is
+                        // state-idempotent (see the `store_run` field)
+                        // and its only observable effect is the two
+                        // counters.
+                        let fast = match self.store_run {
+                            Some((l, k)) if l == line && self.dl1_run == Some((line, true)) => {
+                                l2_accesses += 1;
+                                broadcast_updates += k;
+                                true
+                            }
+                            _ => false,
+                        };
+                        if !fast {
+                            self.sync_to(e.instructions);
+                            self.store_event(line);
+                        }
+                    }
+                }
+                #[cfg(debug_assertions)]
+                {
+                    seen += 1;
+                    self.sync_to(e.instructions);
+                    invariants::check_occupancy(
+                        &self.core_instructions[..self.config.cores],
+                        self.stats.instructions,
+                    );
+                    if (accesses_base + seen).is_multiple_of(invariants::SCAN_PERIOD) {
+                        self.check_invariants();
+                    }
+                }
+            }
+            self.sync_to(last.instructions);
+            self.stats.accesses += events.len() as u64;
+            self.stats.ifetches += ifetches;
+            self.stats.loads += loads;
+            self.stats.stores += stores;
+            self.stats.l2_accesses += l2_accesses;
+            self.stats.store_broadcast_updates += broadcast_updates;
+            // Every store — hit or miss, fast or slow — broadcasts its
+            // value on the update bus (§2.3); the byte charge lands at
+            // the flush below.
+            self.pend_bus_stores += stores;
+        }
+        self.flush_bus();
+    }
+
+    /// Brings `stats.instructions`, the active core's occupancy
+    /// counter, and the pending update-bus instruction charge up to
+    /// `now`. Idempotent at a given `now`; every path that makes those
+    /// counters observable (miss paths, block boundaries, per-step
+    /// stepping) syncs first.
+    #[inline]
+    fn sync_to(&mut self, now: u64) {
+        let delta = now.saturating_sub(self.last_instructions);
+        self.last_instructions = now;
+        self.stats.instructions = now;
+        self.core_instructions[self.active] += delta;
+        self.pend_bus_instr += delta;
+    }
+
+    /// Flushes batched update-bus charges and re-mirrors `stats.bus`.
+    ///
+    /// Every path that makes bus bytes observable — profile snapshots,
+    /// step/block boundaries — runs this first, so batching is
+    /// invisible: `UpdateBus::charge_instructions` carries fractional
+    /// bytes in fixed-point accumulators, which makes one batched
+    /// charge byte-identical to the per-event charges it replaces.
+    fn flush_bus(&mut self) {
+        if self.pend_bus_instr != 0 || self.pend_bus_stores != 0 {
+            self.bus
+                .charge_instructions(self.pend_bus_instr, self.pend_bus_stores);
+            self.pend_bus_instr = 0;
+            self.pend_bus_stores = 0;
+        }
+        self.stats.bus = self.bus.stats();
+    }
+
+    /// The per-event datapath shared by [`step_tagged`](Self::step_tagged)
+    /// and [`run_block`](Self::run_block): everything except the bus
+    /// flush and the profiler boundary check, which those callers
+    /// amortize.
+    #[inline]
+    fn step_event(&mut self, kind: AccessKind, line: LineAddr, instructions_now: u64, pointer: bool) {
+        // Charge update-bus traffic for the instructions retired since
+        // the previous access (register/branch broadcast) and any
+        // store. Charges accumulate and land on the bus at the next
+        // flush point (see `flush_bus`).
+        self.sync_to(instructions_now);
+        self.pend_bus_stores += u64::from(kind.is_store());
+
+        self.stats.accesses += 1;
+        match kind {
+            AccessKind::IFetch => {
+                self.stats.ifetches += 1;
+                // Line-run memo: a repeat fetch of the previous fetch's
+                // line is a guaranteed hit (that fetch left the line
+                // resident, and only fetches touch the IL1), so the set
+                // scan — and its LRU restamp — is skipped. Skipped
+                // restamps never change a victim: between two touches
+                // of one line no other stamp enters this cache, so the
+                // relative stamp order every LRU decision reads is
+                // preserved exactly.
+                if self.il1_run != Some(line) {
+                    // Fused probe: one set scan decides hit-or-fill.
+                    if !self.il1.access(line, false).hit {
+                        self.il1_miss(line, pointer);
+                    }
+                    self.il1_run = Some(line);
+                }
+            }
+            AccessKind::Load => {
+                self.stats.loads += 1;
+                // Same line-run memo as the IL1; `true` means the run's
+                // line is resident (a store miss memoizes `false`, and
+                // a load then takes the full fill path below).
+                if self.dl1_run != Some((line, true)) {
+                    if !self.dl1.access(line, false).hit {
+                        self.dl1_load_miss(line, pointer);
+                    }
+                    self.dl1_run = Some((line, true));
+                }
+            }
+            AccessKind::Store => {
+                self.stats.stores += 1;
+                self.store_event(line);
+            }
         }
 
         #[cfg(debug_assertions)]
@@ -415,6 +648,63 @@ impl Machine {
                 self.check_invariants();
             }
         }
+    }
+
+    /// IL1 miss tail: counters, the §2.3 mirror fill broadcast, and the
+    /// L2 read request. The caller has already synced
+    /// `stats.instructions` to the event.
+    #[inline]
+    fn il1_miss(&mut self, line: LineAddr, pointer: bool) {
+        self.stats.il1_misses += 1;
+        self.bus.charge_l1_mirror(self.line.bytes());
+        self.tracer
+            .emit(self.stats.instructions, EventKind::BusBroadcast);
+        self.l1_request(line, pointer);
+    }
+
+    /// DL1 load-miss tail; same shape as [`il1_miss`](Self::il1_miss).
+    #[inline]
+    fn dl1_load_miss(&mut self, line: LineAddr, pointer: bool) {
+        self.stats.dl1_misses += 1;
+        self.bus.charge_l1_mirror(self.line.bytes());
+        self.tracer
+            .emit(self.stats.instructions, EventKind::BusBroadcast);
+        self.l1_request(line, pointer);
+    }
+
+    /// The store datapath below the per-kind counter: resolves the DL1
+    /// (write-through, non-write-allocate) and forwards the write to
+    /// the active L2. The caller has already synced
+    /// `stats.instructions` to the event.
+    #[inline]
+    fn store_event(&mut self, line: LineAddr) {
+        // Write-through, non-write-allocate DL1: a hit updates
+        // the line in place, a miss does not allocate — but the
+        // write always goes to the L2 (which *is*
+        // write-allocate, "write allocation in L2 may be
+        // triggered even upon DL1 hits").
+        let dl1_hit = match self.dl1_run {
+            Some((l, present)) if l == line => present,
+            _ => {
+                let hit = self.dl1.lookup(line);
+                self.dl1_run = Some((line, hit));
+                hit
+            }
+        };
+        if !dl1_hit {
+            self.stats.dl1_misses += 1;
+        }
+        // A DL1 store miss deliberately charges no
+        // `charge_l1_mirror` bytes and emits no `BusBroadcast`,
+        // unlike the Load/IFetch miss paths: under §2.3 the
+        // mirror broadcast carries a *filled line* so inactive
+        // L1s stay identical copies, and a non-write-allocate
+        // miss fills nothing — there is no line to broadcast.
+        // The store's own value crosses the update bus either
+        // way (§2.3: every retired store is broadcast), which
+        // `charge_instructions` prices per store as
+        // `store_bytes` whether the DL1 hit or missed.
+        self.l2_write(line, !dl1_hit);
     }
 
     /// The machine's counters as one cumulative profiling snapshot
@@ -482,6 +772,9 @@ impl Machine {
     /// Read path for an L1 miss: consult the active L2, the remote L2s
     /// (modified copies only), then L3; notify the controller.
     fn l1_request(&mut self, line: LineAddr, pointer: bool) {
+        // Fills, forwards, prefetches, and migrations below may move
+        // lines in any L2.
+        self.store_run = None;
         self.stats.l1_requests += 1;
         self.stats.l2_accesses += 1;
         let l2_hit = self.l2[self.active].lookup(line);
@@ -552,24 +845,41 @@ impl Machine {
     /// Only stores that missed the DL1 count as L1-miss requests for the
     /// migration controller.
     fn l2_write(&mut self, line: LineAddr, was_l1_request: bool) {
+        self.store_run = None;
+        let migration = self.config.protocol == Protocol::MigrationMode;
         self.stats.l2_accesses += 1;
-        let l2_hit = self.l2[self.active].lookup(line);
-        if l2_hit {
+        // The hit probe hands its frame index to `write_hit`, so the
+        // upgrade path edits the active copy without a second set scan.
+        let hit_frame = self.l2[self.active].lookup_at(line);
+        let l2_hit = hit_frame.is_some();
+        if let Some(frame) = hit_frame {
             let (protocol, mut ctx) = self.coherence();
-            protocol.write_hit(&mut ctx, line);
+            protocol.write_hit(&mut ctx, line, frame);
         } else {
             self.stats.l2_misses += 1;
             self.tracer.emit(self.stats.instructions, EventKind::L2Miss);
             self.serve_l2_miss(line, true);
         }
-        {
+        let broadcast = {
+            let before = self.stats.store_broadcast_updates;
             let (protocol, mut ctx) = self.coherence();
             protocol.after_write(&mut ctx, line);
-        }
+            self.stats.store_broadcast_updates - before
+        };
         if was_l1_request {
             self.stats.l1_requests += 1;
             // Stores are never pointer loads.
             self.consult_controller(line, !l2_hit, false);
+        } else if l2_hit && migration {
+            // Arm the store-run memo: a DL1-hit store that hit the L2
+            // ran no fill and consulted no controller, so until some
+            // other path touches an L2 a repeat store to this line is
+            // state-idempotent. Migration mode only — its `write_hit`
+            // is a plain modified-bit set and its broadcast effect is
+            // the counter bump measured above, both stable across
+            // repeats. The shared-bit protocols re-examine bus state
+            // per store and always take the full path.
+            self.store_run = Some((line, broadcast));
         }
     }
 
@@ -697,9 +1007,9 @@ mod tests {
         assert_eq!(m.l2[0].modified(line), Some(true));
         // Load the same line after forcing a migration-free refill on
         // another core: emulate by switching active manually.
-        m.active = 1;
+        m.activate(1);
         m.step(AccessKind::IFetch, LineAddr::new(999), 2); // unrelated warmup
-        m.active = 1;
+        m.activate(1);
         m.step(AccessKind::Load, line, 3);
         // Core 1 missed its L2; the modified copy on core 0 was
         // forwarded: its bit is reset, line written back to L3.
@@ -731,7 +1041,7 @@ mod tests {
         assert!(m.l2[0].contains(line), "L2 lost the line");
         let l3_before = m.stats().l3_fetches;
         // Miss on core 2: remote copy is clean, must go to L3.
-        m.active = 2;
+        m.activate(2);
         m.step(AccessKind::Load, line, 100);
         assert_eq!(m.stats().l2_to_l2_forwards, 0);
         assert_eq!(m.stats().l3_fetches, l3_before + 1);
@@ -987,5 +1297,84 @@ mod tests {
         assert!(bus.reg_bytes > 0);
         assert!(bus.store_bytes > 0);
         assert!(bus.update_bus_bytes() > 100_000, "≥1 B/instr expected");
+    }
+
+    /// A DL1 *store* miss is exempt from the L1 mirror traffic that
+    /// load/ifetch misses generate: the DL1 is non-write-allocate, so
+    /// the miss fills no line and there is nothing to broadcast to the
+    /// inactive L1 mirrors (§2.3 — the store's value itself is priced
+    /// separately, per retired store, by `charge_instructions`). This
+    /// pins the exemption so a refactor can't silently start charging
+    /// `charge_l1_mirror`/emitting `BusBroadcast` on the store path.
+    #[test]
+    fn store_miss_charges_no_mirror_bytes_and_no_broadcast() {
+        let mut m = Machine::new(tiny_config(4));
+        let line = LineAddr::new(77);
+        // Cold store: DL1 miss, no allocate, no mirror traffic.
+        m.step(AccessKind::Store, line, 1);
+        let s = m.stats();
+        assert_eq!(s.dl1_misses, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.bus.l1_mirror_bytes, 0, "store miss must not mirror");
+        #[cfg(feature = "trace")]
+        assert!(
+            !m.tracer()
+                .events()
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::BusBroadcast)),
+            "store miss must not emit BusBroadcast"
+        );
+        // Non-allocating: the same store misses again, still exempt.
+        m.step(AccessKind::Store, line, 2);
+        assert_eq!(m.stats().dl1_misses, 2);
+        assert_eq!(m.stats().bus.l1_mirror_bytes, 0);
+        // Contrast: a load miss *does* mirror the filled line, which
+        // keeps this test honest about the counter being live at all.
+        m.step(AccessKind::Load, LineAddr::new(200), 3);
+        assert_eq!(m.stats().bus.l1_mirror_bytes, 64);
+        #[cfg(feature = "trace")]
+        assert!(m
+            .tracer()
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::BusBroadcast)));
+    }
+
+    /// `run_observed` publishes exactly one beat per period crossing
+    /// plus one final beat — unless the budget lands *on* a beat
+    /// boundary, in which case the final publish would report the same
+    /// instruction count twice and is skipped. `CircularWorkload`
+    /// retires exactly one instruction per event, so beat positions
+    /// are exact and the expected counts are closed-form.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn observed_run_publishes_one_beat_per_period() {
+        let beats_for = |budget: u64, period: u64| {
+            let hub = Hub::with_workers(1);
+            let worker = hub.worker(0).expect("first claim");
+            let mut m = Machine::new(MachineConfig::single_core());
+            let mut w = CircularWorkload::new(4096);
+            m.run_observed(&mut w, budget, &worker, 0, 0, period);
+            assert_eq!(m.stats().instructions, budget);
+            hub.overhead().beats
+        };
+        // Budget on a beat boundary: the in-loop beats at 1000, 2000,
+        // 3000, 4000 already cover the end state; no trailing beat.
+        assert_eq!(beats_for(4000, 1000), 4, "final beat double-counted");
+        // Budget off the boundary: 4 in-loop beats plus the trailing
+        // one reporting the final 4500.
+        assert_eq!(beats_for(4500, 1000), 5);
+        // Budget below one period: only the trailing beat fires.
+        assert_eq!(beats_for(500, 1000), 1);
+        // Observability must not perturb the simulation.
+        let hub = Hub::with_workers(1);
+        let worker = hub.worker(0).expect("first claim");
+        let mut observed = Machine::new(MachineConfig::single_core());
+        let mut w = CircularWorkload::new(4096);
+        observed.run_observed(&mut w, 4500, &worker, 0, 0, 1000);
+        let mut plain = Machine::new(MachineConfig::single_core());
+        let mut w = CircularWorkload::new(4096);
+        plain.run(&mut w, 4500);
+        assert_eq!(observed.stats(), plain.stats());
     }
 }

@@ -38,7 +38,7 @@ impl_to_json!(MachineStats {
 ///
 /// Tables 1 and 2 report *instructions per event* — use the
 /// `instr_per_*` accessors (higher is better, as in the paper).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MachineStats {
     /// Dynamic instructions retired.
     pub instructions: u64,

@@ -304,9 +304,27 @@ impl Profiler {
     /// True when the interval boundary has been crossed and
     /// [`record_sample`](Self::record_sample) should run. The one check
     /// hot paths pay in `trace` builds: a single compare.
+    ///
+    /// `sample_due` is *monotone* in `instructions_now`: once true at
+    /// some count it stays true for every larger count until
+    /// `record_sample` re-schedules the boundary. Block-stepping run
+    /// loops rely on this to test only a block's **last** event — a
+    /// false result there proves no event in the block crossed the
+    /// boundary, and a true result routes the whole block through the
+    /// per-event catch-up path so samples land on exactly the events a
+    /// per-step loop would have sampled.
     #[inline]
     pub fn sample_due(&self, instructions_now: u64) -> bool {
         instructions_now >= self.next_due
+    }
+
+    /// The instruction count at which the next sample falls due — the
+    /// boundary [`sample_due`](Self::sample_due) compares against.
+    /// Lets a block-stepping caller size its next block to end at the
+    /// boundary without probing `sample_due` per event.
+    #[inline]
+    pub fn next_due(&self) -> u64 {
+        self.next_due
     }
 
     /// Closes the current interval at `now` (a cumulative snapshot the
@@ -389,6 +407,12 @@ impl Profiler {
     #[inline(always)]
     pub fn sample_due(&self, _instructions_now: u64) -> bool {
         false
+    }
+
+    /// No boundary ever falls due: the horizon.
+    #[inline(always)]
+    pub fn next_due(&self) -> u64 {
+        u64::MAX
     }
 
     /// Does nothing.
@@ -569,6 +593,40 @@ mod tests {
         // 999 has not crossed the 1000 boundary yet.
         assert!(!p.sample_due(999));
         assert!(p.sample_due(1000));
+    }
+
+    /// The contract block-stepping run loops lean on: `sample_due` is
+    /// monotone between recordings, so testing a block's last event is
+    /// equivalent to testing every event in it, and `next_due` names
+    /// the exact boundary the comparison uses.
+    #[test]
+    fn sample_due_is_monotone_up_to_next_due() {
+        let mut p = Profiler::with_config(ProfileConfig {
+            period: 100,
+            capacity: 8,
+        });
+        if !Profiler::ACTIVE {
+            // No-op profiler: never due, boundary at the horizon.
+            assert_eq!(p.next_due(), u64::MAX);
+            assert!(!p.sample_due(u64::MAX));
+            return;
+        }
+        assert_eq!(p.next_due(), 100);
+        // False strictly below the boundary, true from it onward —
+        // monotone across any block of instruction counts.
+        for at in [0u64, 1, 50, 99] {
+            assert!(!p.sample_due(at));
+        }
+        for at in [100u64, 101, 250, 1 << 40] {
+            assert!(p.sample_due(at));
+        }
+        // Recording at an overshot count re-schedules to the next
+        // period multiple *after* the overshoot, exactly where a
+        // per-step loop would sample next.
+        p.record_sample(&cum(237, 1, 0));
+        assert_eq!(p.next_due(), 300);
+        assert!(!p.sample_due(299));
+        assert!(p.sample_due(300));
     }
 
     #[test]

@@ -134,7 +134,12 @@ impl CodeFeed {
         let line = match &mut self.model {
             CodeModel::TinyLoop { lines, pos } => {
                 let l = *pos;
-                *pos = (*pos + 1) % *lines;
+                // `pos < lines` always, so a compare replaces the
+                // modulo — this runs once per code line entered.
+                *pos += 1;
+                if *pos == *lines {
+                    *pos = 0;
+                }
                 l
             }
             CodeModel::Walk {

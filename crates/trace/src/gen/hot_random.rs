@@ -112,7 +112,12 @@ impl HotRandomWorkload {
         }
         if let Some((cursor, left)) = self.run {
             let addr = self.hot_addr(cursor);
-            let next = (cursor + 1) % self.hot_lines();
+            // `cursor < hot_lines` always, so a compare replaces the
+            // per-access modulo.
+            let mut next = cursor + 1;
+            if next == self.hot_lines() {
+                next = 0;
+            }
             self.run = if left > 1 {
                 Some((next, left - 1))
             } else {
@@ -132,7 +137,11 @@ impl HotRandomWorkload {
         let line = self.rng.below(self.hot_lines());
         if self.rng.chance(self.params.seq_run_permille, 1000) {
             let len = self.rng.burst_len(self.params.run_lines_mean);
-            self.run = Some(((line + 1) % self.hot_lines(), len));
+            let mut start = line + 1;
+            if start == self.hot_lines() {
+                start = 0;
+            }
+            self.run = Some((start, len));
         }
         self.hot_addr(line)
     }

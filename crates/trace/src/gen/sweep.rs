@@ -53,6 +53,9 @@ pub struct SweepWorkload {
     array: usize,
     offset: u64,
     pass: u64,
+    /// `stride()` for the current pass, cached so the hot path does no
+    /// modulo (see [`advance`](Self::advance)).
+    cur_stride: u64,
     rng: Rng,
     budget: InstrBudget,
     code: CodeFeed,
@@ -75,6 +78,7 @@ impl SweepWorkload {
         assert!(params.strides.iter().all(|&s| s > 0), "strides must be > 0");
         let bases = (0..params.arrays.len() as u64).map(region_base).collect();
         let budget = InstrBudget::new(params.instr_per_access_x256);
+        let cur_stride = params.strides[0];
         SweepWorkload {
             name,
             params,
@@ -82,6 +86,7 @@ impl SweepWorkload {
             array: 0,
             offset: 0,
             pass: 0,
+            cur_stride,
             rng: Rng::seed_from(seed),
             budget,
             code: CodeFeed::tiny_loop(48),
@@ -100,13 +105,17 @@ impl SweepWorkload {
     fn advance(&mut self) -> u64 {
         let size = self.params.arrays[self.array];
         let addr = self.bases[self.array] + self.offset;
-        self.offset += self.stride();
+        // `cur_stride` mirrors `stride()` but is refreshed only when
+        // `pass` changes: the modulo indexing would otherwise cost an
+        // integer division on every access.
+        self.offset += self.cur_stride;
         if self.offset >= size {
             self.offset = 0;
             self.array += 1;
             if self.array == self.params.arrays.len() {
                 self.array = 0;
                 self.pass += 1;
+                self.cur_stride = self.stride();
             }
         }
         addr

@@ -45,4 +45,4 @@ pub use addr::{Addr, LineAddr, LineSize};
 pub use io::{TraceIoError, TraceIoResult, TraceReader, TraceWriter};
 pub use rng::Rng;
 pub use suite::{BenchmarkInfo, BenchmarkSuiteClass};
-pub use workload::{BoxedWorkload, Workload};
+pub use workload::{BoxedWorkload, Workload, WorkloadEvent};

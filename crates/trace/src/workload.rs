@@ -35,6 +35,45 @@ pub trait Workload {
 
     /// Total dynamic instructions retired so far.
     fn instructions(&self) -> u64;
+
+    /// Appends up to `max_events` events to `buf`, stopping early once
+    /// [`instructions`](Workload::instructions) reaches `until`; returns
+    /// the number appended.
+    ///
+    /// The stopping rule is exactly the per-step run loop's
+    /// (`while instructions() < until { next_access() }`): the event
+    /// that crosses `until` is *included*, so draining a workload
+    /// through repeated `fill_block` calls yields the same event
+    /// sequence — same accesses, same per-event instruction counts —
+    /// as per-step consumption. Block-stepping callers rely on that to
+    /// stay bit-identical with `Machine::step`.
+    ///
+    /// This is a provided method: each concrete workload monomorphizes
+    /// its own copy, so a `dyn Workload` caller pays one virtual call
+    /// per *block* and the generator loop runs devirtualized inside.
+    fn fill_block(&mut self, buf: &mut Vec<WorkloadEvent>, until: u64, max_events: usize) -> usize {
+        let mut filled = 0;
+        while filled < max_events && self.instructions() < until {
+            let access = self.next_access();
+            buf.push(WorkloadEvent {
+                access,
+                instructions: self.instructions(),
+            });
+            filled += 1;
+        }
+        filled
+    }
+}
+
+/// One workload event as buffered by block-stepping drivers: the access
+/// plus the workload's total retired-instruction count *after* it (the
+/// value [`Workload::instructions`] returns at that point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadEvent {
+    /// The access.
+    pub access: Access,
+    /// Total dynamic instructions retired up to and including it.
+    pub instructions: u64,
 }
 
 /// A boxed, owned workload.
@@ -51,6 +90,14 @@ impl Workload for BoxedWorkload {
 
     fn instructions(&self) -> u64 {
         (**self).instructions()
+    }
+
+    // Forwarded explicitly: without this, the box would run the
+    // *default* body here — one virtual `next_access` per event —
+    // instead of dispatching once into the concrete workload's
+    // monomorphized block filler.
+    fn fill_block(&mut self, buf: &mut Vec<WorkloadEvent>, until: u64, max_events: usize) -> usize {
+        (**self).fill_block(buf, until, max_events)
     }
 }
 
@@ -187,5 +234,59 @@ mod tests {
     #[should_panic(expected = "must be > 0")]
     fn instr_budget_zero_panics() {
         InstrBudget::new(0);
+    }
+
+    /// Draining through fill_block must replay the per-step loop
+    /// exactly: same accesses, same post-event instruction counts,
+    /// including the final event that crosses the budget.
+    #[test]
+    fn fill_block_matches_per_step_consumption() {
+        let budget = 101; // odd on purpose: the last event overshoots
+        let mut per_step = Fixed { n: 0 };
+        let mut expected = Vec::new();
+        while per_step.instructions() < budget {
+            let access = per_step.next_access();
+            expected.push(WorkloadEvent {
+                access,
+                instructions: per_step.instructions(),
+            });
+        }
+
+        for block in [1usize, 7, 4096] {
+            let mut blocked = Fixed { n: 0 };
+            let mut got = Vec::new();
+            loop {
+                let filled = blocked.fill_block(&mut got, budget, block);
+                if filled == 0 {
+                    break;
+                }
+                assert!(filled <= block);
+            }
+            assert_eq!(got, expected, "block size {block}");
+            assert_eq!(blocked.instructions(), per_step.instructions());
+        }
+    }
+
+    /// Once the budget is reached, fill_block appends nothing.
+    #[test]
+    fn fill_block_stops_at_budget() {
+        let mut w = Fixed { n: 0 };
+        let mut buf = Vec::new();
+        while w.fill_block(&mut buf, 10, 4) > 0 {}
+        let len = buf.len();
+        assert_eq!(w.fill_block(&mut buf, 10, 4), 0);
+        assert_eq!(buf.len(), len);
+    }
+
+    /// The boxed forwarding returns the same events as the concrete
+    /// type (and respects max_events).
+    #[test]
+    fn boxed_workload_forwards_fill_block() {
+        let mut direct = Fixed { n: 0 };
+        let mut boxed: BoxedWorkload = Box::new(Fixed { n: 0 });
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        assert_eq!(direct.fill_block(&mut a, 20, 3), 3);
+        assert_eq!(boxed.fill_block(&mut b, 20, 3), 3);
+        assert_eq!(a, b);
     }
 }
